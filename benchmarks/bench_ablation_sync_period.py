@@ -1,0 +1,68 @@
+"""Ablation (§5): broker coordination frequency vs fairness and cost.
+
+"More frequent coordination reduces transient unfairness but increases
+the overhead; and vice versa."  Sweeps the sync period on the skewed
+two-scan scenario and reports the total-service ratio error and the
+broker message volume."""
+
+import dataclasses
+
+from repro.config import GB, default_cluster
+from repro.core import PolicySpec
+from repro.cluster import BigDataCluster
+from repro.experiments import ExperimentResult, controller_for
+from repro.workloads import teravalidate
+
+
+def run_sweep():
+    config = default_cluster()
+    result = ExperimentResult("ablation_sync_period")
+    skew = [f"dn{i:02d}" for i in range(config.n_workers // 2)]
+    ctrl = controller_for(config)
+
+    def ratio_for(period):
+        if period is None:
+            policy = PolicySpec.sfqd2(ctrl, coordinated=False)
+        else:
+            policy = dataclasses.replace(
+                PolicySpec.sfqd2(ctrl, coordinated=True), sync_period=period
+            )
+        cluster = BigDataCluster(config, policy)
+        cluster.preload_input("/in/hot", 800 * GB, nodes=skew)
+        cluster.preload_input("/in/wide", 800 * GB)
+        cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
+                       io_weight=1.0, max_cores=48)
+        cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
+                       io_weight=1.0, max_cores=48)
+        cluster.run_for(8.0)
+        svc = cluster.total_service_by_app()
+        hot = next(v for k, v in svc.items() if "hot" in k)
+        wide = next(v for k, v in svc.items() if "wide" in k)
+        messages = cluster.broker.messages if cluster.broker else 0
+        return wide / hot, messages
+
+    ratio, msgs = ratio_for(None)
+    result.row(period="off", service_ratio=ratio, ratio_error=abs(ratio - 1),
+               broker_messages=msgs)
+    for period in (4.0, 1.0, 0.25):
+        ratio, msgs = ratio_for(period)
+        result.row(period=period, service_ratio=ratio,
+                   ratio_error=abs(ratio - 1), broker_messages=msgs)
+    return result
+
+
+def test_ablation_sync_period(benchmark, report):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(result)
+
+    off = result.find(period="off")
+    fast = result.find(period=0.25)
+    slow = result.find(period=4.0)
+    # Frequent coordination clearly beats none; a period as long as half
+    # the window barely gets to act (the §5 granularity trade-off).
+    assert fast["ratio_error"] < 0.6 * off["ratio_error"]
+    assert slow["ratio_error"] <= off["ratio_error"] + 0.1
+    assert fast["ratio_error"] <= slow["ratio_error"] + 0.1
+    # ... and costs proportionally more messages (the §5 trade-off).
+    assert fast["broker_messages"] > slow["broker_messages"]
+    assert off["broker_messages"] == 0

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark reproduces one figure or table of the paper: it runs
+the corresponding experiment from :mod:`repro.experiments`, prints the
+rows/series the paper reports, and asserts the headline *shape* (who
+wins, roughly by how much) so regressions are caught.  Timings reported
+by pytest-benchmark measure the cost of regenerating each artifact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print an experiment result so it lands in the bench log."""
+    from repro.experiments import format_result
+
+    def _print(result):
+        text = format_result(result)
+        print("\n" + text)
+        return text
+
+    return _print

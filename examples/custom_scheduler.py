@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Extending IBIS: plug a custom I/O scheduler into the framework.
+
+The paper's Table 3 argues that IBIS makes new schedulers cheap to
+build (~a thousand lines for a sophisticated one).  This example builds
+a tiny *strict-priority* scheduler (highest weight always dispatches
+first, depth-limited) in ~30 lines, wires it into a datanode, and
+contrasts its behaviour with SFQ(D): strict priority starves the
+low-weight flow while SFQ shares proportionally.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+import heapq
+
+from repro import MB, HDD_PROFILE
+from repro.core import IOClass, IORequest, IOTag, SFQDScheduler
+from repro.core.base import IOScheduler
+from repro.simcore import Simulator
+from repro.storage import StorageDevice
+
+
+class StrictPriorityScheduler(IOScheduler):
+    """Dispatch the highest-weight queued request first, up to ``depth``
+    outstanding.  Work-conserving but unfair: a busy high-priority flow
+    starves everyone else."""
+
+    algorithm = "strict-priority"
+
+    def __init__(self, sim, device, depth=4, name=""):
+        super().__init__(sim, device, name)
+        self.depth = depth
+        self._queue = []
+        self._seq = 0
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    def _enqueue(self, req):
+        self._seq += 1
+        heapq.heappush(self._queue, (-req.weight, self._seq, req))
+        self._pump()
+
+    def _on_complete(self, req, done):
+        self._pump()
+
+    def _pump(self):
+        while self._queue and self.outstanding < self.depth:
+            _p, _s, req = heapq.heappop(self._queue)
+            self._dispatch_to_device(req)
+
+
+def drive(make_scheduler) -> tuple[float, float]:
+    """Two backlogged flows (weights 4:1) for 5 simulated seconds."""
+    sim = Simulator()
+    device = StorageDevice(sim, HDD_PROFILE)
+    sched = make_scheduler(sim, device)
+
+    def flow(app, weight):
+        while True:
+            req = IORequest(sim, IOTag(app, weight), "read", 4 * MB,
+                            IOClass.PERSISTENT)
+            yield sched.submit(req)
+
+    # More streams per app than the dispatch depth, so the queue always
+    # holds requests of both priorities — the regime where the two
+    # policies diverge.
+    for _ in range(8):
+        sim.process(flow("high", 4.0))
+        sim.process(flow("low", 1.0))
+    sim.run(until=5.0)
+    stats = sched.stats.service_by_app
+    return stats.get("high", 0.0) / MB, stats.get("low", 0.0) / MB
+
+
+def main() -> None:
+    hi, lo = drive(lambda sim, dev: StrictPriorityScheduler(sim, dev, depth=4))
+    print(f"strict priority : high {hi:7.0f} MB, low {lo:7.0f} MB "
+          f"(ratio {hi / max(lo, 1e-9):.1f}, target 4.0)")
+    hi, lo = drive(lambda sim, dev: SFQDScheduler(sim, dev, depth=4))
+    print(f"sfq(d=4)        : high {hi:7.0f} MB, low {lo:7.0f} MB "
+          f"(ratio {hi / max(lo, 1e-9):.1f}, target 4.0)")
+
+
+if __name__ == "__main__":
+    main()

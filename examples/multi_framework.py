@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Multi-framework I/O scheduling: Hive queries vs MapReduce batch jobs.
+
+A TPC-H decision-support query (Q21 on Hive — a chain of MapReduce
+stages) shares the cluster with TeraSort.  The example compares four
+I/O-management regimes (§6, §7.4):
+
+* native YARN — no I/O management at all;
+* cgroups blkio weight 100:1 — can only prioritise the *intermediate*
+  I/Os that containers issue directly; HDFS I/Os (serviced by the
+  shared Data Node daemon) remain unmanaged;
+* cgroups blkio throttle — caps TeraSort's intermediate I/O rate, a
+  non-work-conserving policy that also hurts TeraSort;
+* IBIS 100:1 — interposes *all* I/O classes and proportionally shares
+  them, work-conserving.
+
+Run:  python examples/multi_framework.py
+"""
+
+from repro import GB, MB, BigDataCluster, PolicySpec, default_cluster
+from repro.core.profiling import calibrate_controller
+from repro.hive import run_query, tpch_q21
+from repro.workloads import terasort
+
+
+def standalone_runtimes(config):
+    cluster = BigDataCluster(config, PolicySpec.native())
+    query = tpch_q21(config)
+    cluster.preload_input(query.table_paths[0], query.table_bytes[0])
+    qrun = run_query(cluster, query, max_cores=96)
+    cluster.run(qrun.done)
+
+    cluster2 = BigDataCluster(config, PolicySpec.native())
+    cluster2.preload_input("/in/tera", 100 * GB)
+    ts = cluster2.submit(terasort(config, "/in/tera"), max_cores=96)
+    cluster2.run()
+    return qrun.runtime, ts.runtime
+
+
+def contended(config, policy, io_weight):
+    cluster = BigDataCluster(config, policy)
+    query = tpch_q21(config)
+    cluster.preload_input(query.table_paths[0], query.table_bytes[0])
+    cluster.preload_input("/in/tera", 100 * GB)
+    qrun = run_query(cluster, query, io_weight=io_weight, max_cores=48)
+    ts = cluster.submit(terasort(config, "/in/tera"),
+                        io_weight=1.0, max_cores=48)
+    cluster.run(qrun.done, ts.done)
+    return qrun.runtime, ts.runtime
+
+
+def main() -> None:
+    config = default_cluster()
+    q_solo, ts_solo = standalone_runtimes(config)
+    print(f"standalone: Q21 {q_solo:.1f} s, TeraSort {ts_solo:.1f} s\n")
+    print(f"{'policy':<22} {'Q21 rel perf':>12} {'TS rel perf':>12}")
+
+    controller = calibrate_controller(config)
+    regimes = [
+        ("native", PolicySpec.native(), 1.0),
+        ("cgroups weight 100:1", PolicySpec.cgroups_weight(), 100.0),
+        ("cgroups throttle", PolicySpec.cgroups_throttle(
+            {"terasort": 48.0 * MB}), 100.0),
+        ("IBIS 100:1", PolicySpec.sfqd2(controller), 100.0),
+    ]
+    for label, policy, weight in regimes:
+        q_rt, ts_rt = contended(config, policy, weight)
+        print(
+            f"{label:<22} {min(1.0, q_solo / q_rt):>12.2f} "
+            f"{min(1.0, ts_solo / ts_rt):>12.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

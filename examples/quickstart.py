@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: protect a compute-heavy job from an I/O hog with IBIS.
+
+Builds the paper's 8-worker Hadoop/YARN testbed (simulated), runs
+WordCount alone, then against TeraGen on native Hadoop (no I/O
+management), then again with IBIS's SFQ(D2) scheduler and a 32:1
+bandwidth sharing ratio favouring WordCount — reproducing the headline
+result of the paper's §7.2 in a few seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GB, BigDataCluster, PolicySpec, default_cluster
+from repro.core.profiling import calibrate_controller
+from repro.workloads import teragen, wordcount
+
+
+def run_wordcount(policy, with_teragen: bool) -> float:
+    """One experiment: WordCount (half the CPUs) +/- TeraGen."""
+    config = default_cluster()
+    cluster = BigDataCluster(config, policy)
+    cluster.preload_input("/in/wiki", 50 * GB)  # 50 GB Wikipedia text
+    wc = cluster.submit(
+        wordcount(config, "/in/wiki"),
+        io_weight=32.0,     # IBIS bandwidth share (only ratios matter)
+        max_cores=48,       # half of the 96 cores, as in the paper
+    )
+    if with_teragen:
+        cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
+    cluster.run(wc.done)
+    return wc.runtime
+
+
+def main() -> None:
+    alone = run_wordcount(PolicySpec.native(), with_teragen=False)
+    print(f"WordCount alone:                 {alone:6.2f} s")
+
+    native = run_wordcount(PolicySpec.native(), with_teragen=True)
+    print(
+        f"WordCount + TeraGen (native):    {native:6.2f} s  "
+        f"(slowdown {100 * (native / alone - 1):.0f}%)"
+    )
+
+    # IBIS needs a reference latency for the SFQ(D2) controller, found
+    # by profiling the storage once per setup (§4).
+    controller = calibrate_controller(default_cluster())
+    ibis = run_wordcount(PolicySpec.sfqd2(controller), with_teragen=True)
+    print(
+        f"WordCount + TeraGen (IBIS):      {ibis:6.2f} s  "
+        f"(slowdown {100 * (ibis / alone - 1):.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

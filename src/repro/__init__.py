@@ -1,0 +1,53 @@
+"""IBIS: Interposed Big-data I/O Scheduler — HPDC'16 reproduction.
+
+A complete, from-scratch Python implementation of the paper's system on
+a deterministic discrete-event simulation of a Hadoop/YARN cluster:
+
+* :mod:`repro.core` — IBIS itself: I/O interposition, the SFQ(D)/SFQ(D2)
+  proportional-share schedulers, the Scheduling Broker with DSFQ
+  total-service coordination, and the cgroups baseline.
+* :mod:`repro.simcore`, :mod:`repro.storage`, :mod:`repro.net`,
+  :mod:`repro.hdfs`, :mod:`repro.localfs`, :mod:`repro.yarnsim`,
+  :mod:`repro.mapreduce`, :mod:`repro.hive` — the substrates.
+* :mod:`repro.workloads` — TeraGen/TeraSort/TeraValidate/WordCount,
+  the Facebook2009-like SWIM trace, and TPC-H query models.
+* :mod:`repro.experiments` — one function per figure/table of §7.
+"""
+
+from repro.cluster import BigDataCluster
+from repro.config import (
+    GB,
+    HDD_PROFILE,
+    KB,
+    MB,
+    SSD_PROFILE,
+    TB,
+    ClusterConfig,
+    StorageProfile,
+    YarnConfig,
+    default_cluster,
+)
+from repro.core import DepthController, IOClass, IOTag, PolicySpec
+from repro.mapreduce import JobSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BigDataCluster",
+    "ClusterConfig",
+    "DepthController",
+    "GB",
+    "HDD_PROFILE",
+    "IOClass",
+    "IOTag",
+    "JobSpec",
+    "KB",
+    "MB",
+    "PolicySpec",
+    "SSD_PROFILE",
+    "StorageProfile",
+    "TB",
+    "YarnConfig",
+    "default_cluster",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""BigDataCluster: the whole simulated testbed, wired together.
+
+One object owns the simulator, the eight worker nodes (two interposed
+devices each), the network fabric, HDFS, the YARN Resource Manager, and
+— when the policy asks for it — the IBIS Scheduling Broker.  Jobs are
+submitted against it and it runs until they all finish.
+
+This is the main entry point of the public API::
+
+    from repro import BigDataCluster, PolicySpec, default_cluster
+    from repro.workloads import wordcount, teragen
+
+    cluster = BigDataCluster(default_cluster(), PolicySpec.native())
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc = cluster.submit(wordcount(cluster.config, "/in/wiki"),
+                        io_weight=32.0, max_cores=48)
+    tg = cluster.submit(teragen(cluster.config), io_weight=1.0, max_cores=48)
+    cluster.run()
+    print(wc.runtime, tg.runtime)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ClusterConfig
+from repro.core import (
+    DataNodeIO,
+    IOClass,
+    IOTag,
+    PolicySpec,
+    SchedulingBroker,
+)
+from repro.core.metrics import aggregate_service
+from repro.hdfs import DFSClient, NameNode
+from repro.hdfs.datanode import BlockService
+from repro.localfs import LocalFS
+from repro.mapreduce import AppMaster, Job, JobSpec
+from repro.mapreduce.task import TaskEnv
+from repro.net import NetFabric
+from repro.simcore import RngRegistry, SimulationError, Simulator
+
+__all__ = ["BigDataCluster"]
+
+
+class BigDataCluster:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        policy: PolicySpec,
+        record_latency: bool = False,
+    ):
+        self.config = config
+        self.policy = policy
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+
+        node_ids = [f"dn{i:02d}" for i in range(config.n_workers)]
+        self.node_ids = node_ids
+        self.broker: Optional[SchedulingBroker] = (
+            SchedulingBroker(self.sim) if policy.coordinated else None
+        )
+        self.nodes: dict[str, DataNodeIO] = {
+            nid: DataNodeIO(
+                self.sim, nid, config, policy, broker=self.broker,
+                record_latency=record_latency,
+            )
+            for nid in node_ids
+        }
+        self.net = NetFabric(self.sim, node_ids, config.nic_bandwidth)
+        self.namenode = NameNode(
+            node_ids,
+            block_size=config.sim_block_size,
+            replication=config.yarn.dfs_replication,
+            rng=self.rng.stream("placement"),
+        )
+        self.block_service = BlockService(
+            self.sim,
+            self.nodes,
+            self.net,
+            config.io_chunk,
+            read_window=config.read_window,
+            write_window=config.write_window,
+        )
+        self.dfs = DFSClient(self.sim, self.namenode, self.block_service)
+        self.localfs = {
+            nid: LocalFS(
+                self.sim,
+                node,
+                config.io_chunk,
+                read_window=config.read_window,
+                write_window=config.write_window,
+            )
+            for nid, node in self.nodes.items()
+        }
+        from repro.yarnsim import ResourceManager  # local import: avoid cycle
+
+        self.rm = ResourceManager(
+            self.sim,
+            node_ids,
+            cores_per_node=config.cores_per_node,
+            memory_per_node=config.alloc_memory_per_node,
+        )
+        self.env = TaskEnv(
+            sim=self.sim,
+            dfs=self.dfs,
+            localfs=self.localfs,
+            net=self.net,
+            rng=self.rng.stream("task-jitter"),
+        )
+        self.jobs: list[Job] = []
+
+    # ------------------------------------------------------------------ api
+    def preload_input(self, path: str, nbytes: int, nodes=None) -> None:
+        """Materialise an input file (paper-sized; scaled internally),
+        spread evenly over the datanodes — or over a subset (``nodes``)
+        to induce skewed data distribution.  Not simulated I/O."""
+        self.dfs.preload(path, self.config.scaled(nbytes), nodes=nodes)
+
+    def submit(
+        self,
+        spec: JobSpec,
+        io_weight: float = 1.0,
+        cpu_weight: float = 1.0,
+        max_cores: Optional[int] = None,
+        delay: float = 0.0,
+    ) -> Job:
+        """Register a job; its AM starts after ``delay`` seconds.
+
+        ``io_weight`` is the IBIS bandwidth share weight carried by every
+        I/O the job issues; ``cpu_weight``/``max_cores`` control the Fair
+        Scheduler's CPU allocation (the paper pins CPU with max_cores).
+        """
+        app_id = f"app{len(self.jobs) + 1:02d}-{spec.name}"
+        job = Job(self.sim, spec, app_id, IOTag(app_id, io_weight))
+        self.jobs.append(job)
+
+        def start() -> None:
+            job.submit_time = self.sim.now
+            self.rm.register_app(app_id, weight=cpu_weight, max_cores=max_cores)
+            am = AppMaster(self.env, self.rm, job, self.config.yarn)
+
+            def am_and_cleanup():
+                yield self.sim.process(am.run(), name=f"am:{app_id}")
+                self.rm.unregister_app(app_id)
+
+            self.sim.process(am_and_cleanup(), name=f"app:{app_id}")
+
+        if delay > 0:
+            self.sim.call_in(delay, start)
+        else:
+            start()
+        return job
+
+    def run(self, *events) -> None:
+        """Run until the given events trigger, or (with no arguments)
+        until every submitted job finishes.  The no-argument form loops,
+        because multi-stage applications (Hive) submit jobs progressively.
+        """
+        if events:
+            self.sim.run(until=self.sim.all_of(list(events)))
+            return
+        if not self.jobs:
+            raise SimulationError("no jobs submitted")
+        while True:
+            unfinished = [j.done for j in self.jobs if j.finish_time is None]
+            if not unfinished:
+                return
+            self.sim.run(until=self.sim.all_of(unfinished))
+
+    def run_for(self, duration: float) -> None:
+        """Run for a fixed window (used for throughput profiles)."""
+        self.sim.run(until=duration)
+
+    # -------------------------------------------------------------- results
+    def total_service_by_app(self) -> dict[str, float]:
+        """Total bytes serviced per application across all schedulers —
+        the quantity whose proportional sharing §5 targets."""
+        return aggregate_service(
+            sched.stats.service_by_app
+            for node in self.nodes.values()
+            for sched in node.schedulers.values()
+        )
+
+    def cluster_throughput(self, t_end: Optional[float] = None) -> float:
+        """Aggregate storage throughput (bytes/s) over the run."""
+        end = t_end if t_end is not None else self.sim.now
+        if end <= 0:
+            return 0.0
+        total = 0.0
+        for node in self.nodes.values():
+            for dev in (node.hdfs_device, node.tmp_device):
+                total += dev.read_meter.total + dev.write_meter.total
+        return total / end
+
+    def app_throughput_meters(self, app_id: str):
+        """All per-scheduler rate meters of one application."""
+        out = []
+        for node in self.nodes.values():
+            for sched in node.schedulers.values():
+                meter = sched.stats.meter_by_app.get(app_id)
+                if meter is not None:
+                    out.append(meter)
+        return out
+
+    def device_meters(self, op: str):
+        """Every device's read or write meter (Fig. 2 profiles)."""
+        if op not in ("read", "write"):
+            raise ValueError("op must be 'read' or 'write'")
+        out = []
+        for node in self.nodes.values():
+            for dev in (node.hdfs_device, node.tmp_device):
+                out.append(dev.read_meter if op == "read" else dev.write_meter)
+        return out
+
+    def schedulers(self, io_class: Optional[IOClass] = None):
+        """Iterate interposed schedulers, optionally one class only."""
+        for node in self.nodes.values():
+            for cls, sched in node.schedulers.items():
+                if io_class is None or cls is io_class:
+                    yield sched

@@ -1,0 +1,192 @@
+"""Configuration: units, storage profiles, and cluster presets.
+
+Mirrors the paper's testbed (§7.1, Table 1): nine nodes — eight workers
+with two six-core CPUs, 32 GB RAM and two disks each (HDFS data and
+intermediate data on separate spindles), plus one master running the
+Resource Manager, Name Node and the IBIS Scheduling Broker.
+
+All experiments run at a configurable ``scale`` so a laptop-sized
+simulation finishes in seconds while preserving the relative shapes of
+the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "StorageProfile",
+    "HDD_PROFILE",
+    "SSD_PROFILE",
+    "ClusterConfig",
+    "YarnConfig",
+    "default_cluster",
+]
+
+# Binary units, matching Table 1's dfs.block.size = 134,217,728.
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Parameters of the processor-sharing storage device model.
+
+    The device performs *work* (bytes, weighted per operation) at an
+    aggregate rate ``W(n) = peak_rate * n / (n + n_half)`` when ``n``
+    requests are in service, shared equally.  This yields throughput
+    that saturates with concurrency while latency keeps growing — the
+    exact trade-off the SFQ(D) depth parameter exposes (§4).
+
+    ``write_cost`` > 1 models flash read/write asymmetry: a write of
+    ``b`` bytes contributes ``b * write_cost`` work.  ``request_overhead``
+    is fixed extra work per request (seek/command overhead).
+
+    The write-back model: every ``flush_threshold`` bytes written, the
+    device enters a *flush storm* for ``flush_duration`` seconds during
+    which its rate is multiplied by ``flush_factor`` — reproducing the
+    foreground-flush latency spikes of Fig. 7.
+    """
+
+    name: str
+    peak_rate: float           # aggregate work units (bytes) per second
+    n_half: float              # concurrency at which W(n) = peak/2... (sat. knee)
+    read_cost: float = 1.0     # work units per byte read
+    write_cost: float = 1.0    # work units per byte written
+    request_overhead: float = 0.0  # fixed work units per request
+    flush_threshold: float = 0.0   # bytes written per storm; 0 disables
+    flush_duration: float = 0.0    # seconds of degraded service
+    flush_factor: float = 1.0      # rate multiplier during a storm
+    # Service discipline for in-flight requests:
+    #   "fcfs" — requests are serviced serially in arrival order at the
+    #            aggregate rate W(n) (a disk head: outstanding requests
+    #            raise elevator efficiency, but one transfers at a time).
+    #   "ps"   — equal processor sharing of W(n) (a network pipe).
+    discipline: str = "ps"
+
+    def __post_init__(self):
+        if self.peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if self.n_half < 0:
+            raise ValueError("n_half must be non-negative")
+        if self.read_cost <= 0 or self.write_cost <= 0:
+            raise ValueError("op costs must be positive")
+        if not (0 < self.flush_factor <= 1.0):
+            raise ValueError("flush_factor must be in (0, 1]")
+        if self.discipline not in ("ps", "fcfs"):
+            raise ValueError(f"unknown discipline {self.discipline!r}")
+
+    def rate_at(self, n: int) -> float:
+        """Aggregate service rate with ``n`` requests in flight."""
+        if n <= 0:
+            return 0.0
+        return self.peak_rate * n / (n + self.n_half)
+
+
+# A 7.2K RPM SAS disk: ~160 MB/s streaming at depth, noticeable
+# per-request positioning overhead, symmetric read/write, and page-cache
+# flush storms (Fig. 7's ~260 s and ~790 s spikes).
+HDD_PROFILE = StorageProfile(
+    name="hdd",
+    peak_rate=160.0 * MB,
+    n_half=0.4,
+    read_cost=1.0,
+    write_cost=1.0,
+    request_overhead=0.375 * MB,  # ~6 ms positioning at 60 MB/s effective
+    flush_threshold=3.0 * GB,
+    flush_duration=4.0,
+    flush_factor=0.3,
+    discipline="fcfs",
+)
+
+# An Intel 120 GB MLC SATA SSD: fast reads, much slower writes
+# (write_cost = 3 → effective ~140 MB/s writes vs ~420 MB/s reads),
+# minimal per-request overhead, shallow saturation knee, no flush storms.
+SSD_PROFILE = StorageProfile(
+    name="ssd",
+    peak_rate=420.0 * MB,
+    n_half=0.3,
+    read_cost=1.0,
+    write_cost=3.0,
+    request_overhead=0.02 * MB,
+    discipline="fcfs",
+)
+
+
+@dataclass(frozen=True)
+class YarnConfig:
+    """Table 1 plus the per-task container sizes from §7.1."""
+
+    dfs_replication: int = 3
+    dfs_block_size: int = 134_217_728  # Table 1, bytes
+    fairscheduler_preemption: bool = True
+    preemption_timeout: float = 5.0    # seconds, Table 1
+    map_task_vcores: int = 1
+    map_task_memory: int = 2 * GB
+    reduce_task_vcores: int = 1
+    reduce_task_memory: int = 8 * GB
+    heartbeat_interval: float = 1.0    # NM -> RM heartbeat (piggybacks broker)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The simulated testbed."""
+
+    n_workers: int = 8
+    cores_per_node: int = 12
+    memory_per_node: int = 32 * GB
+    alloc_memory_per_node: int = 24 * GB    # YARN-allocatable (192GB total, §7.1)
+    storage: StorageProfile = HDD_PROFILE
+    nic_bandwidth: float = 125.0 * MB       # Gigabit Ethernet
+    io_chunk: int = 4 * MB                  # request granularity
+    # Per-stream pipelining: HDFS clients keep several packets in flight
+    # (readahead on reads, write-behind on writes).  This is what lets an
+    # uncontrolled aggressive writer flood the storage on native Hadoop
+    # ("TeraGen's I/Os are sent to storage as soon as they come", §7.2).
+    read_window: int = 2
+    write_window: int = 6
+    yarn: YarnConfig = field(default_factory=YarnConfig)
+    scale: float = 1.0                      # data-volume scale factor
+    block_scale: float = 0.125              # block-size scale (keeps task waves sane)
+    seed: int = 20160531
+
+    def __post_init__(self):
+        if self.n_workers <= 0 or self.cores_per_node <= 0:
+            raise ValueError("cluster must have workers and cores")
+        if not (0 < self.scale <= 1.0):
+            raise ValueError("scale must be in (0, 1]")
+        if not (0 < self.block_scale <= 1.0):
+            raise ValueError("block_scale must be in (0, 1]")
+        if self.io_chunk <= 0:
+            raise ValueError("io_chunk must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_workers * self.cores_per_node
+
+    @property
+    def sim_block_size(self) -> int:
+        """HDFS block size after scaling, never below one I/O chunk."""
+        return max(self.io_chunk, int(self.yarn.dfs_block_size * self.block_scale))
+
+    def scaled(self, nbytes: float) -> int:
+        """Scale a paper-sized data volume down to simulation size."""
+        return max(self.io_chunk, int(nbytes * self.scale))
+
+    def with_storage(self, profile: StorageProfile) -> "ClusterConfig":
+        return replace(self, storage=profile)
+
+
+def default_cluster(
+    scale: float = 1.0 / 64.0,
+    storage: StorageProfile = HDD_PROFILE,
+    seed: int = 20160531,
+) -> ClusterConfig:
+    """The paper's 8-worker testbed at simulation scale."""
+    return ClusterConfig(storage=storage, scale=scale, seed=seed)

@@ -1,0 +1,43 @@
+"""IBIS — the paper's contribution.
+
+* :mod:`repro.core.tags` / :mod:`repro.core.request` — application-tagged
+  I/O requests across the three interposed classes (§3).
+* :mod:`repro.core.base` — scheduler interface, native FIFO passthrough.
+* :mod:`repro.core.sfq` — SFQ and SFQ(D) proportional sharing (§4).
+* :mod:`repro.core.sfqd2` — SFQ(D2): feedback-controlled dynamic depth (§4).
+* :mod:`repro.core.profiling` — offline reference-latency profiling (§4).
+* :mod:`repro.core.broker` — Scheduling Broker + DSFQ total-service
+  coordination (§5).
+* :mod:`repro.core.cgroups` — the cgroups blkio baseline that can only see
+  intermediate I/Os (§6).
+* :mod:`repro.core.interposition` — per-datanode interposition points
+  wiring I/O classes to schedulers and devices (§3).
+* :mod:`repro.core.metrics` — fairness/slowdown metrics used throughout §7.
+"""
+
+from repro.core.base import IOScheduler, NativeScheduler, SchedulerStats
+from repro.core.broker import BrokerClient, SchedulingBroker
+from repro.core.cgroups import CgroupsThrottleScheduler, CgroupsWeightScheduler
+from repro.core.interposition import DataNodeIO, PolicySpec
+from repro.core.request import IORequest
+from repro.core.sfq import SFQDScheduler
+from repro.core.sfqd2 import DepthController, SFQD2Scheduler
+from repro.core.tags import IOClass, IOTag
+
+__all__ = [
+    "BrokerClient",
+    "CgroupsThrottleScheduler",
+    "CgroupsWeightScheduler",
+    "DataNodeIO",
+    "DepthController",
+    "IOClass",
+    "IORequest",
+    "IOScheduler",
+    "IOTag",
+    "NativeScheduler",
+    "PolicySpec",
+    "SchedulerStats",
+    "SchedulingBroker",
+    "SFQDScheduler",
+    "SFQD2Scheduler",
+]

@@ -1,0 +1,136 @@
+"""Scheduler interface, shared accounting, and the native passthrough.
+
+Every interposed scheduling point — the Data Node's HDFS path, the local
+intermediate-I/O path, and the Node Manager's shuffle servlet — hosts
+one :class:`IOScheduler` instance in front of a :class:`StorageDevice`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional
+
+from repro.core.request import IORequest
+from repro.simcore import Event, RateMeter, Simulator
+from repro.storage import IOCompletion, StorageDevice
+
+__all__ = ["IOScheduler", "NativeScheduler", "SchedulerStats"]
+
+
+class SchedulerStats:
+    """Per-scheduler accounting shared by all scheduler implementations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        # Bytes of I/O serviced per application (the a_ij of §5).
+        self.service_by_app: dict[str, float] = defaultdict(float)
+        # Completed-bytes meters per app, for throughput figures.
+        self.meter_by_app: dict[str, RateMeter] = {}
+        # Device latencies (dispatch -> completion) in the current control
+        # window, split by op; consumed by the SFQ(D2) controller.
+        self.window_read_latencies: list[float] = []
+        self.window_write_latencies: list[float] = []
+        self.total_requests = 0
+        self.total_bytes = 0.0
+        # Last-seen weight per app (requests carry the weight in their tag).
+        self.weight_by_app: dict[str, float] = {}
+
+    def note_completion(self, t: float, req: IORequest, done: IOCompletion) -> None:
+        app = req.app_id
+        self.service_by_app[app] += req.nbytes
+        meter = self.meter_by_app.get(app)
+        if meter is None:
+            meter = self.meter_by_app[app] = RateMeter(f"{self.name}:{app}")
+        meter.add(t, req.nbytes)
+        if req.op == "read":
+            self.window_read_latencies.append(done.latency)
+        else:
+            self.window_write_latencies.append(done.latency)
+        self.total_requests += 1
+        self.total_bytes += req.nbytes
+
+    def drain_window(self) -> tuple[list[float], list[float]]:
+        """Return and reset the (reads, writes) latency window."""
+        reads, self.window_read_latencies = self.window_read_latencies, []
+        writes, self.window_write_latencies = self.window_write_latencies, []
+        return reads, writes
+
+
+class IOScheduler:
+    """Base class: submit tagged requests, dispatch them to the device.
+
+    Subclasses override :meth:`_enqueue` (and whatever dispatch machinery
+    they need) and call :meth:`_dispatch_to_device` to start servicing a
+    request.  The base class handles completion accounting and exposes
+    the per-app service counters the Scheduling Broker reads.
+    """
+
+    #: human-readable algorithm name, overridden by subclasses
+    algorithm = "abstract"
+
+    def __init__(self, sim: Simulator, device: StorageDevice, name: str = ""):
+        self.sim = sim
+        self.device = device
+        self.name = name or f"{self.algorithm}@{device.name}"
+        self.stats = SchedulerStats(self.name)
+        self.outstanding = 0
+        self._completion_hooks: list[Callable[[IORequest, IOCompletion], None]] = []
+        self._submit_hooks: list[Callable[[IORequest], None]] = []
+
+    # ------------------------------------------------------------------ api
+    def submit(self, req: IORequest) -> Event:
+        """Accept a tagged request; returns its completion event."""
+        self.stats.weight_by_app[req.app_id] = req.weight
+        self._enqueue(req)
+        for hook in self._submit_hooks:
+            hook(req)
+        return req.completion
+
+    def add_submit_hook(self, hook: Callable[[IORequest], None]) -> None:
+        self._submit_hooks.append(hook)
+
+    def add_completion_hook(
+        self, hook: Callable[[IORequest, IOCompletion], None]
+    ) -> None:
+        self._completion_hooks.append(hook)
+
+    @property
+    def queued(self) -> int:
+        """Requests accepted but not yet dispatched (0 for passthrough)."""
+        return 0
+
+    # ------------------------------------------------------- subclass hooks
+    def _enqueue(self, req: IORequest) -> None:
+        raise NotImplementedError
+
+    def _on_complete(self, req: IORequest, done: IOCompletion) -> None:
+        """Called after accounting; subclasses trigger further dispatch."""
+
+    # ------------------------------------------------------------ plumbing
+    def _dispatch_to_device(self, req: IORequest) -> None:
+        req.dispatch_time = self.sim.now
+        self.outstanding += 1
+        dev_ev = self.device.submit(req.op, req.nbytes)
+        dev_ev.callbacks.append(lambda ev, r=req: self._complete(r, ev.value))
+
+    def _complete(self, req: IORequest, done: IOCompletion) -> None:
+        self.outstanding -= 1
+        self.stats.note_completion(self.sim.now, req, done)
+        for hook in self._completion_hooks:
+            hook(req, done)
+        self._on_complete(req, done)
+        req.completion.succeed(done)
+
+
+class NativeScheduler(IOScheduler):
+    """No I/O management: requests hit the device as soon as they arrive.
+
+    This is the paper's "Native Hadoop" configuration — the device's
+    work-conserving processor sharing is the only arbiter, so an
+    aggressive application freely steals bandwidth (§2.3).
+    """
+
+    algorithm = "native"
+
+    def _enqueue(self, req: IORequest) -> None:
+        self._dispatch_to_device(req)

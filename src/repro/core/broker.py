@@ -1,0 +1,144 @@
+"""Scheduling Broker and DSFQ total-service coordination (§5).
+
+Every local scheduler periodically sends the broker its *local I/O
+service distribution* — the cumulative bytes ``a_ij`` it has serviced
+for each application ``i``.  The broker maintains the totals
+``A_i = Σ_j a_ij`` and replies with them.  The local scheduler then
+applies the DSFQ (Wang & Merchant, FAST'07) total-service rule: the
+start tag of an application's next request is delayed by the amount of
+service the application received *elsewhere* since the last update,
+scaled by its weight.
+
+The broker is centralized but lightweight: it only aggregates vectors,
+and in the real prototype the exchange is piggybacked on the YARN
+heartbeats.  We model the message sizes for the overhead study (§7.7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.simcore import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.sfq import SFQDScheduler
+
+__all__ = ["BrokerClient", "SchedulingBroker"]
+
+# Tag arithmetic is in MB of cost, matching repro.core.sfq._COST_UNIT.
+from repro.core.sfq import _COST_UNIT
+
+#: wire-size estimate per (app id, service amount) vector entry, bytes
+_ENTRY_BYTES = 24
+
+
+class SchedulingBroker:
+    """Aggregates local service vectors into the global distribution.
+
+    State: one number per (client, app) and a running total per app —
+    bounded by (#schedulers × #apps), as the paper argues (§5).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._client_vectors: dict[str, dict[str, float]] = defaultdict(dict)
+        # Totals are kept per scope: each I/O service type (persistent /
+        # intermediate / network) is proportionally shared on its own —
+        # IBIS provides "proportional sharing of all the important I/O
+        # services offered by a datanode" (§4), so an application's heavy
+        # use of one service must not tax its share of another.
+        self._totals: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self.messages = 0
+        self.message_bytes = 0
+
+    @property
+    def totals(self) -> dict[str, float]:
+        """Cluster-wide total service per app, summed over scopes."""
+        out: dict[str, float] = defaultdict(float)
+        for scoped in self._totals.values():
+            for app, amount in scoped.items():
+                out[app] += amount
+        return dict(out)
+
+    def report(
+        self, client_id: str, service_vector: dict[str, float], scope: str = ""
+    ) -> dict[str, float]:
+        """One coordination round-trip: absorb ``a_ij``, reply with ``A_i``
+        (within ``scope``) for the applications this scheduler serves."""
+        mine = self._client_vectors[client_id]
+        totals = self._totals[scope]
+        for app, cumulative in service_vector.items():
+            if cumulative < mine.get(app, 0.0):
+                raise ValueError(
+                    f"service report for {app!r} from {client_id!r} went backwards"
+                )
+            totals[app] += cumulative - mine.get(app, 0.0)
+            mine[app] = cumulative
+        self.messages += 1
+        self.message_bytes += 2 * _ENTRY_BYTES * max(1, len(service_vector))
+        return {app: totals[app] for app in service_vector}
+
+
+class BrokerClient:
+    """Periodic coordination loop attached to one local SFQ(D*) scheduler.
+
+    Runs only while its scheduler has work (so simulations can drain),
+    re-armed by a submit hook.  Each tick it reports the scheduler's
+    cumulative per-app service and converts the growth of *other-node*
+    service into DSFQ start-tag delays.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        broker: SchedulingBroker,
+        scheduler: "SFQDScheduler",
+        client_id: str,
+        period: float = 1.0,
+        scope: str = "",
+    ):
+        if period <= 0:
+            raise ValueError("coordination period must be positive")
+        self.sim = sim
+        self.broker = broker
+        self.scheduler = scheduler
+        self.client_id = client_id
+        self.period = period
+        self.scope = scope
+        self._last_other: dict[str, float] = {}
+        self._tick_scheduled = False
+        scheduler.add_submit_hook(self._on_submit)
+
+    def _on_submit(self, _req) -> None:
+        self._ensure_tick()
+
+    def _ensure_tick(self) -> None:
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.sim.call_in(self.period, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        self.sync()
+        if self.scheduler.outstanding > 0 or self.scheduler.queued > 0:
+            self._ensure_tick()
+
+    def sync(self) -> None:
+        """One explicit coordination exchange (also used by tests)."""
+        stats = self.scheduler.stats
+        vector = dict(stats.service_by_app)
+        if not vector:
+            return
+        totals = self.broker.report(self.client_id, vector, scope=self.scope)
+        for app, total in totals.items():
+            other = total - vector.get(app, 0.0)
+            grown = other - self._last_other.get(app, 0.0)
+            self._last_other[app] = other
+            if grown > 0.0:
+                weight = stats.weight_by_app.get(app, 1.0)
+                self.scheduler.add_start_delay(
+                    app, (grown / _COST_UNIT) / weight
+                )

@@ -1,0 +1,112 @@
+"""Offline reference-latency profiling (§4).
+
+The SFQ(D2) controller needs a reference latency ``Lref``: the latency
+observed *just before the storage starts to saturate*.  The paper
+obtains it by profiling the storage once per setup with a synthetic
+MapReduce workload of increasing I/O concurrency, measuring latency and
+throughput at each level.  We reproduce that procedure against the
+device model: a closed-loop workload at fixed concurrency ``n`` issues
+chunk-sized requests back-to-back; we sweep ``n`` and pick the latency
+at the lowest concurrency whose throughput reaches a saturation
+fraction of the maximum.
+
+For asymmetric storage (SSD), reads and writes are profiled separately,
+giving the split references the controller blends at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ClusterConfig, StorageProfile
+from repro.core.sfqd2 import DepthController
+from repro.simcore import Simulator
+from repro.storage import StorageDevice
+
+__all__ = ["ProfilePoint", "profile_device", "calibrate_controller"]
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """Measured behaviour at one concurrency level."""
+
+    concurrency: int
+    latency: float      # mean request latency, seconds
+    throughput: float   # bytes / second
+
+
+def profile_device(
+    storage: StorageProfile,
+    op: str,
+    chunk: int,
+    max_concurrency: int = 16,
+    duration: float = 20.0,
+) -> list[ProfilePoint]:
+    """Closed-loop latency/throughput sweep over concurrency levels."""
+    if op not in ("read", "write"):
+        raise ValueError(f"unknown op {op!r}")
+    points = []
+    for n in range(1, max_concurrency + 1):
+        sim = Simulator()
+        device = StorageDevice(sim, storage, name="probe")
+        latencies: list[float] = []
+
+        def worker():
+            while sim.now < duration:
+                done = yield device.submit(op, chunk)
+                latencies.append(done.latency)
+
+        for _ in range(n):
+            sim.process(worker())
+        sim.run(until=duration * 2)  # workers stop issuing at `duration`
+        elapsed = min(sim.now, duration) or duration
+        throughput = device.read_meter.total + device.write_meter.total
+        points.append(
+            ProfilePoint(
+                concurrency=n,
+                latency=sum(latencies) / len(latencies),
+                throughput=throughput / elapsed,
+            )
+        )
+    return points
+
+
+def reference_latency(
+    points: list[ProfilePoint], saturation_fraction: float = 0.9
+) -> float:
+    """Latency at the knee: the lowest concurrency whose throughput is
+    within ``saturation_fraction`` of the sweep maximum."""
+    if not points:
+        raise ValueError("empty profile")
+    if not (0 < saturation_fraction <= 1):
+        raise ValueError("saturation_fraction must be in (0, 1]")
+    peak = max(p.throughput for p in points)
+    for p in points:
+        if p.throughput >= saturation_fraction * peak:
+            return p.latency
+    return points[-1].latency  # pragma: no cover - unreachable by construction
+
+
+def calibrate_controller(
+    config: ClusterConfig,
+    gain: float = 30.0,
+    period: float = 1.0,
+    d_max: float = 12.0,
+    saturation_fraction: float = 0.9,
+) -> DepthController:
+    """The full §4 procedure: profile reads and writes, build a controller.
+
+    Needs to be run once per storage setup (the result is deterministic
+    for a given profile, so experiments may also cache it).
+    """
+    chunk = config.io_chunk
+    read_points = profile_device(config.storage, "read", chunk)
+    write_points = profile_device(config.storage, "write", chunk)
+    return DepthController(
+        ref_latency_read=reference_latency(read_points, saturation_fraction),
+        ref_latency_write=reference_latency(write_points, saturation_fraction),
+        gain=gain,
+        period=period,
+        d_max=d_max,
+        d_init=min(8.0, d_max),
+    )

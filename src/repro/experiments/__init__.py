@@ -1,0 +1,42 @@
+"""Experiment harness: one function per figure/table of the paper's §7.
+
+Each ``fig*``/``tab*`` function builds the clusters, runs the workloads,
+and returns an :class:`~repro.experiments.harness.ExperimentResult`
+whose rows mirror the bars/series the paper reports.  The benchmark
+suite under ``benchmarks/`` drives exactly these functions.
+"""
+
+from repro.experiments.figures import (
+    fig2_io_profiles,
+    fig3_contention,
+    fig6_isolation_hdd,
+    fig7_depth_adaptation,
+    fig8_isolation_ssd,
+    fig9_facebook,
+    fig10_multiframework,
+    fig11_proportional_slowdown,
+    fig12_coordination,
+    fig13_overhead,
+    tab2_resource_usage,
+    tab3_loc,
+)
+from repro.experiments.harness import ExperimentResult, controller_for
+from repro.experiments.report import format_result
+
+__all__ = [
+    "ExperimentResult",
+    "controller_for",
+    "fig2_io_profiles",
+    "fig3_contention",
+    "fig6_isolation_hdd",
+    "fig7_depth_adaptation",
+    "fig8_isolation_ssd",
+    "fig9_facebook",
+    "fig10_multiframework",
+    "fig11_proportional_slowdown",
+    "fig12_coordination",
+    "fig13_overhead",
+    "format_result",
+    "tab2_resource_usage",
+    "tab3_loc",
+]

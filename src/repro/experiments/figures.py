@@ -1,0 +1,565 @@
+"""One function per figure/table of the paper's evaluation (§7).
+
+All experiments run at ``scale`` (default 1/64 of the paper's data
+volumes) on the simulated 8-worker testbed; paper-vs-measured notes for
+each are kept in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.cluster import BigDataCluster
+from repro.config import (
+    GB,
+    MB,
+    SSD_PROFILE,
+    TB,
+    ClusterConfig,
+    default_cluster,
+)
+from repro.core import IOClass, PolicySpec
+from repro.core.metrics import relative_performance, slowdown
+from repro.core.sfqd2 import SFQD2Scheduler
+from repro.experiments.harness import (
+    ExperimentResult,
+    controller_for,
+    run_single_job,
+    total_throughput_mbs,
+)
+from repro.hive import run_query, tpch_q9, tpch_q21
+from repro.workloads import (
+    facebook2009_trace,
+    teragen,
+    terasort,
+    teravalidate,
+    wordcount,
+)
+
+__all__ = [
+    "fig2_io_profiles",
+    "fig3_contention",
+    "fig6_isolation_hdd",
+    "fig7_depth_adaptation",
+    "fig8_isolation_ssd",
+    "fig9_facebook",
+    "fig10_multiframework",
+    "fig11_proportional_slowdown",
+    "fig12_coordination",
+    "fig13_overhead",
+    "tab2_resource_usage",
+    "tab3_loc",
+]
+
+#: interferer sizes for the contention studies: the paper runs TeraSort
+#: with 50–400 GB inputs; the large end keeps the aggressor I/O-active
+#: for the victim's whole run at simulation scale.
+_BIG_SORT = 400 * GB
+
+#: cgroups throttle cap (Fig. 10): the paper throttles TeraSort to
+#: 1 MB/s per container; one node runs ~12 containers and spill writes
+#: land in the page cache before the block layer sees them, so the
+#: effective per-node cap on scheduled intermediate I/O is far higher.
+_THROTTLE_BPS = 48.0 * MB
+
+
+# --------------------------------------------------------------------- Fig 2
+def fig2_io_profiles(config: ClusterConfig | None = None) -> ExperimentResult:
+    """I/O demand (read/write MB/s vs time) of TeraSort and WordCount,
+    each running alone with the full cluster."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig2_io_profiles")
+    for label, spec, preloads in (
+        ("terasort", terasort(config, "/in/tera", input_bytes=100 * GB),
+         {"/in/tera": 100 * GB}),
+        ("wordcount", wordcount(config, "/in/wiki"), {"/in/wiki": 50 * GB}),
+    ):
+        job, cluster = run_single_job(
+            config, PolicySpec.native(), spec, preloads, max_cores=None
+        )
+        t_end = job.finish_time
+        for op in ("read", "write"):
+            agg = np.zeros(max(1, int(np.ceil(t_end)) + 1))
+            times = np.arange(len(agg), dtype=float)
+            for meter in cluster.device_meters(op):
+                ts = meter.rate_series(bucket=1.0, t_end=t_end + 1.0)
+                vals = np.asarray(ts.values)
+                agg[: len(vals)] += vals / MB
+            result.series[f"{label}:{op}"] = (times.tolist(), agg.tolist())
+        result.row(app=label, runtime=job.runtime,
+                   peak_read=float(max(result.series[f"{label}:read"][1])),
+                   peak_write=float(max(result.series[f"{label}:write"][1])))
+    return result
+
+
+# --------------------------------------------------------------------- Fig 3
+def fig3_contention(config: ClusterConfig | None = None) -> ExperimentResult:
+    """WordCount runtime alone vs against TeraValidate/TeraGen/TeraSort
+    on native Hadoop, with WC's CPU allocation fixed at half the cluster."""
+    config = config or default_cluster()
+    result = ExperimentResult(f"fig3_contention_{config.storage.name}")
+
+    def run_wc(interferer: str | None) -> float:
+        cluster = BigDataCluster(config, PolicySpec.native())
+        cluster.preload_input("/in/wiki", 50 * GB)
+        wc = cluster.submit(wordcount(config, "/in/wiki"),
+                            io_weight=1.0, max_cores=48)
+        if interferer == "teravalidate":
+            cluster.preload_input("/in/sorted", _BIG_SORT)
+            cluster.submit(teravalidate(config, "/in/sorted"),
+                           io_weight=1.0, max_cores=48)
+        elif interferer == "teragen":
+            cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
+        elif interferer == "terasort":
+            cluster.preload_input("/in/tera", _BIG_SORT)
+            cluster.submit(terasort(config, "/in/tera", input_bytes=_BIG_SORT),
+                           io_weight=1.0, max_cores=48)
+        cluster.run(wc.done)
+        return wc.runtime
+
+    standalone = run_wc(None)
+    result.row(case="wc_alone", runtime=standalone, slowdown=0.0)
+    for interferer in ("teravalidate", "teragen", "terasort"):
+        rt = run_wc(interferer)
+        result.row(case=f"wc+{interferer}", runtime=rt,
+                   slowdown=slowdown(rt, standalone))
+    return result
+
+
+# --------------------------------------------------------------------- Fig 6
+def _isolation_run(config, policy, io_weight=32.0):
+    """WC (weighted) + TeraGen on the given policy; returns the WC job
+    and the cluster (for throughput accounting)."""
+    cluster = BigDataCluster(config, policy)
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc = cluster.submit(wordcount(config, "/in/wiki"),
+                        io_weight=io_weight, max_cores=48)
+    cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
+    cluster.run(wc.done)
+    return wc, cluster
+
+
+def fig6_isolation_hdd(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Fig. 6a/6b: WC+TG under native, SFQ(D=12/8/4/2), and SFQ(D2),
+    with the 32:1 sharing ratio favouring WordCount (HDD setup)."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig6_isolation_hdd")
+
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc_alone = cluster.submit(wordcount(config, "/in/wiki"),
+                              io_weight=1.0, max_cores=48)
+    cluster.run()
+    standalone = wc_alone.runtime
+    result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
+               throughput_mbs=None, throughput_loss=None)
+
+    wc, cl = _isolation_run(config, PolicySpec.native())
+    native_thr = total_throughput_mbs(cl, wc.finish_time)
+    result.row(case="native", runtime=wc.runtime,
+               slowdown=slowdown(wc.runtime, standalone),
+               throughput_mbs=native_thr, throughput_loss=0.0)
+
+    cases = [(f"sfq(d={d})", PolicySpec.sfqd(depth=d)) for d in (12, 8, 4, 2)]
+    cases.append(("sfq(d2)", PolicySpec.sfqd2(controller_for(config))))
+    for label, policy in cases:
+        wc, cl = _isolation_run(config, policy)
+        thr = total_throughput_mbs(cl, wc.finish_time)
+        result.row(case=label, runtime=wc.runtime,
+                   slowdown=slowdown(wc.runtime, standalone),
+                   throughput_mbs=thr,
+                   throughput_loss=thr / native_thr - 1.0)
+    return result
+
+
+# --------------------------------------------------------------------- Fig 7
+def fig7_depth_adaptation(config: ClusterConfig | None = None) -> ExperimentResult:
+    """The SFQ(D2) controller's D and observed latency over time on one
+    datanode during the WC+TG isolation run (flush storms included)."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig7_depth_adaptation")
+    ctrl = controller_for(config)
+    _wc, cluster = _isolation_run(config, PolicySpec.sfqd2(ctrl))
+    sched = cluster.nodes["dn00"].schedulers[IOClass.PERSISTENT]
+    assert isinstance(sched, SFQD2Scheduler)
+    result.series["depth"] = (list(sched.depth_series.times),
+                              list(sched.depth_series.values))
+    result.series["latency_ms"] = (
+        list(sched.latency_series.times),
+        [v * 1000.0 for v in sched.latency_series.values],
+    )
+    d_vals = sched.depth_series.values
+    result.row(
+        samples=len(d_vals),
+        d_min=float(min(d_vals)),
+        d_max=float(max(d_vals)),
+        d_mean=float(np.mean(d_vals)),
+        lref_ms=ctrl.ref_latency_read * 1000.0,
+        latency_p95_ms=float(np.percentile(sched.latency_series.values, 95)) * 1000.0
+        if len(sched.latency_series) else None,
+    )
+    return result
+
+
+# --------------------------------------------------------------------- Fig 8
+def fig8_isolation_ssd(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Fig. 8a/8b: the WC+TG isolation study on the SSD storage setup,
+    where SFQ(D2) blends split read/write reference latencies."""
+    config = config or default_cluster(storage=SSD_PROFILE)
+    result = ExperimentResult("fig8_isolation_ssd")
+
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc_alone = cluster.submit(wordcount(config, "/in/wiki"),
+                              io_weight=1.0, max_cores=48)
+    cluster.run()
+    standalone = wc_alone.runtime
+    result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
+               throughput_mbs=None)
+
+    wc, cl = _isolation_run(config, PolicySpec.native())
+    native_thr = total_throughput_mbs(cl, wc.finish_time)
+    result.row(case="native", runtime=wc.runtime,
+               slowdown=slowdown(wc.runtime, standalone),
+               throughput_mbs=native_thr)
+
+    ctrl = controller_for(config)
+    wc, cl = _isolation_run(config, PolicySpec.sfqd2(ctrl))
+    thr = total_throughput_mbs(cl, wc.finish_time)
+    result.row(case="sfq(d2)", runtime=wc.runtime,
+               slowdown=slowdown(wc.runtime, standalone),
+               throughput_mbs=thr)
+    result.notes.append(
+        f"SSD split references: read {ctrl.ref_latency_read * 1000:.1f} ms, "
+        f"write {ctrl.ref_latency_write * 1000:.1f} ms"
+    )
+    return result
+
+
+# --------------------------------------------------------------------- Fig 9
+def fig9_facebook(
+    config: ClusterConfig | None = None, n_jobs: int = 50
+) -> ExperimentResult:
+    """Cumulative distribution of Facebook2009 job runtimes: standalone,
+    interfered by TeraGen on native, and isolated by SFQ(D2) at 32:1."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig9_facebook")
+    trace = facebook2009_trace(config, n_jobs=n_jobs)
+
+    def run_trace(policy, with_teragen):
+        cluster = BigDataCluster(config, policy)
+        fb_jobs = []
+        for sj in trace:
+            cluster.preload_input(sj.spec.input_path, sj.input_bytes)
+            fb_jobs.append(
+                cluster.submit(sj.spec, io_weight=32.0, max_cores=48,
+                               delay=sj.arrival)
+            )
+        if with_teragen:
+            cluster.submit(teragen(config, output_bytes=4 * TB),
+                           io_weight=1.0, max_cores=48)
+        cluster.run(*[j.done for j in fb_jobs])
+        return sorted(j.runtime for j in fb_jobs)
+
+    for label, policy, with_tg in (
+        ("standalone", PolicySpec.native(), False),
+        ("interfered", PolicySpec.native(), True),
+        ("sfq(d2)", PolicySpec.sfqd2(controller_for(config)), True),
+    ):
+        runtimes = run_trace(policy, with_tg)
+        cdf_y = [(i + 1) / len(runtimes) for i in range(len(runtimes))]
+        result.series[label] = (runtimes, cdf_y)
+        result.row(case=label,
+                   mean_runtime=float(np.mean(runtimes)),
+                   p50=float(np.percentile(runtimes, 50)),
+                   p90=float(np.percentile(runtimes, 90)))
+    return result
+
+
+# -------------------------------------------------------------------- Fig 10
+def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResult:
+    """TPC-H queries on Hive vs TeraSort on MapReduce under native,
+    cgroups (weight 100:1 / throttle), and IBIS 100:1."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig10_multiframework")
+    ctrl = controller_for(config)
+
+    def ts_standalone():
+        cluster = BigDataCluster(config, PolicySpec.native())
+        cluster.preload_input("/in/tera", 100 * GB)
+        ts = cluster.submit(terasort(config, "/in/tera"), max_cores=96)
+        cluster.run()
+        return ts.runtime
+
+    def q_standalone(query_fn):
+        cluster = BigDataCluster(config, PolicySpec.native())
+        q = query_fn(config)
+        cluster.preload_input(q.table_paths[0], q.table_bytes[0])
+        run = run_query(cluster, q, max_cores=96)
+        cluster.run(run.done)
+        return run.runtime
+
+    def contend(query_fn, policy, io_weight):
+        cluster = BigDataCluster(config, policy)
+        q = query_fn(config)
+        cluster.preload_input(q.table_paths[0], q.table_bytes[0])
+        cluster.preload_input("/in/tera", 100 * GB)
+        run = run_query(cluster, q, io_weight=io_weight, max_cores=48)
+        ts = cluster.submit(terasort(config, "/in/tera"),
+                            io_weight=1.0, max_cores=48)
+        cluster.run(run.done, ts.done)
+        return run.runtime, ts.runtime
+
+    ts_solo = ts_standalone()
+    policies = [
+        ("native", PolicySpec.native(), 1.0),
+        ("cg(weight)-100:1", PolicySpec.cgroups_weight(), 100.0),
+        ("cg(throttle)", PolicySpec.cgroups_throttle({"terasort": _THROTTLE_BPS}),
+         100.0),
+        ("ibis-100:1", PolicySpec.sfqd2(ctrl), 100.0),
+    ]
+    for qname, query_fn in (("q21", tpch_q21), ("q9", tpch_q9)):
+        solo = q_standalone(query_fn)
+        for label, policy, w in policies:
+            q_rt, ts_rt = contend(query_fn, policy, w)
+            q_rel = relative_performance(q_rt, solo)
+            ts_rel = relative_performance(ts_rt, ts_solo)
+            result.row(query=qname, case=label,
+                       query_rel_perf=q_rel, ts_rel_perf=ts_rel,
+                       avg_rel_perf=(q_rel + ts_rel) / 2.0)
+    return result
+
+
+# -------------------------------------------------------------------- Fig 11
+def fig11_proportional_slowdown(
+    config: ClusterConfig | None = None,
+) -> ExperimentResult:
+    """Equal slowdown for TeraSort vs TeraGen: CPU-only tuning (Fair
+    Scheduler 5:1) vs CPU 2:1 + IBIS I/O 2:1."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig11_proportional_slowdown")
+
+    def solo(builder, cores=96):
+        cluster = BigDataCluster(config, PolicySpec.native())
+        cluster.preload_input("/in/tera", 100 * GB)
+        spec = builder(config) if builder is teragen else builder(config, "/in/tera")
+        j = cluster.submit(spec, max_cores=cores)
+        cluster.run()
+        return j.runtime
+
+    ts_solo = solo(terasort)
+    tg_solo = solo(teragen)
+
+    def pair(policy, ts_cores, tg_cores, ts_w, tg_w):
+        cluster = BigDataCluster(config, policy)
+        cluster.preload_input("/in/tera", 100 * GB)
+        ts = cluster.submit(terasort(config, "/in/tera"),
+                            io_weight=ts_w, max_cores=ts_cores)
+        tg = cluster.submit(teragen(config), io_weight=tg_w, max_cores=tg_cores)
+        cluster.run()
+        return slowdown(ts.runtime, ts_solo), slowdown(tg.runtime, tg_solo)
+
+    # The paper's methodology is manual tuning toward equal slowdown; we
+    # search the same small knob grids and report the best of each mode.
+    def best(candidates):
+        outcomes = [(abs(t - g), t, g, label) for (t, g, label) in candidates]
+        return min(outcomes)
+
+    fs_only = []
+    for ts_cores in (80, 72, 64, 56):
+        t, g = pair(PolicySpec.native(), ts_cores, 96 - ts_cores, 1.0, 1.0)
+        fs_only.append((t, g, f"fs-{ts_cores}:{96 - ts_cores}"))
+    gap, t, g, label = best(fs_only)
+    result.row(case=f"cpu only ({label})", ts_slowdown=t, tg_slowdown=g,
+               gap=gap, avg=(t + g) / 2)
+
+    ctrl = controller_for(config)
+    with_ibis = []
+    for ts_cores in (64, 56, 48):
+        for io_ratio in (2.0, 4.0, 8.0):
+            t, g = pair(PolicySpec.sfqd2(ctrl), ts_cores, 96 - ts_cores,
+                        io_ratio, 1.0)
+            with_ibis.append(
+                (t, g, f"fs-{ts_cores}:{96 - ts_cores}+io-{io_ratio:g}:1")
+            )
+    gap, t, g, label = best(with_ibis)
+    result.row(case=f"cpu+ibis ({label})", ts_slowdown=t, tg_slowdown=g,
+               gap=gap, avg=(t + g) / 2)
+    return result
+
+
+# -------------------------------------------------------------------- Fig 12
+def fig12_coordination(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Distributed scheduling coordination on vs off (§5, §7.6).
+
+    The paper's testbed develops uneven per-node service naturally; at
+    simulation scale we induce it the way §5 describes it arising —
+    skewed data distribution: a scan whose data lives on half the nodes
+    shares the cluster with a scan over evenly spread data, at equal
+    weights.  Reported: the total-service ratio over a fixed window
+    (target 1.0) and each application's slowdown, with coordination
+    disabled (No Sync) and enabled (Sync)."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig12_coordination")
+    skew_nodes = [f"dn{i:02d}" for i in range(config.n_workers // 2)]
+    ctrl = controller_for(config)
+
+    def windowed_ratio(coordinated: bool, window: float = 8.0) -> float:
+        cluster = BigDataCluster(
+            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated)
+        )
+        cluster.preload_input("/in/hot", 800 * GB, nodes=skew_nodes)
+        cluster.preload_input("/in/wide", 800 * GB)
+        cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
+                       io_weight=1.0, max_cores=48)
+        cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
+                       io_weight=1.0, max_cores=48)
+        cluster.run_for(window)
+        svc = cluster.total_service_by_app()
+        hot = next(v for k, v in svc.items() if "hot" in k)
+        wide = next(v for k, v in svc.items() if "wide" in k)
+        return wide / hot
+
+    def solo(path, nodes=None, name="scan"):
+        cluster = BigDataCluster(config, PolicySpec.native())
+        cluster.preload_input(path, 200 * GB, nodes=nodes)
+        j = cluster.submit(teravalidate(config, path, name=name), max_cores=96)
+        cluster.run()
+        return j.runtime
+
+    hot_solo = solo("/in/hot", nodes=skew_nodes, name="scan-hot")
+    wide_solo = solo("/in/wide", name="scan-wide")
+
+    def pair(coordinated: bool):
+        cluster = BigDataCluster(
+            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated)
+        )
+        cluster.preload_input("/in/hot", 200 * GB, nodes=skew_nodes)
+        cluster.preload_input("/in/wide", 200 * GB)
+        hot = cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
+                             io_weight=1.0, max_cores=48)
+        wide = cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
+                              io_weight=1.0, max_cores=48)
+        cluster.run()
+        return slowdown(hot.runtime, hot_solo), slowdown(wide.runtime, wide_solo)
+
+    for coordinated, label in ((False, "no sync"), (True, "sync")):
+        ratio = windowed_ratio(coordinated)
+        hot_sd, wide_sd = pair(coordinated)
+        result.row(case=label,
+                   total_service_ratio=ratio,
+                   ratio_error=abs(ratio - 1.0),
+                   hot_slowdown=hot_sd, wide_slowdown=wide_sd)
+    return result
+
+
+# -------------------------------------------------------------------- Fig 13
+def fig13_overhead(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Per-application overhead of IBIS interposition and scheduling:
+    WC/TG/TS each alone with the full cluster, native vs IBIS."""
+    config = config or default_cluster()
+    result = ExperimentResult("fig13_overhead")
+    ctrl = controller_for(config)
+
+    def run(builder, policy):
+        preloads = {}
+        if builder is wordcount:
+            preloads["/in/wiki"] = 50 * GB
+            spec = wordcount(config, "/in/wiki")
+        elif builder is terasort:
+            preloads["/in/tera"] = 100 * GB
+            spec = terasort(config, "/in/tera")
+        else:
+            spec = teragen(config)
+        job, _ = run_single_job(config, policy, spec, preloads, max_cores=96)
+        return job.runtime
+
+    for builder, name in ((wordcount, "wordcount"), (teragen, "teragen"),
+                          (terasort, "terasort")):
+        rt_native = run(builder, PolicySpec.native())
+        rt_ibis = run(builder, PolicySpec.sfqd2(ctrl))
+        result.row(app=name, native=rt_native, ibis=rt_ibis,
+                   overhead=rt_ibis / rt_native - 1.0)
+    return result
+
+
+# -------------------------------------------------------------------- Tab 2
+def tab2_resource_usage(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Daemon CPU/memory usage attributable to I/O management.
+
+    The simulation does not execute daemon code on real CPUs, so the
+    paper's utilisation numbers are estimated from the measured volume
+    of scheduler work: requests queued/dispatched (CPU) and peak queue
+    plus broker-table footprints (memory).  Costs per operation follow
+    the prototype's ballpark (tens of microseconds per request, ~100
+    bytes of queue state per request)."""
+    config = config or default_cluster()
+    result = ExperimentResult("tab2_resource_usage")
+    ctrl = controller_for(config)
+    # Native interposition just forwards a request; IBIS additionally
+    # tags it, computes SFQ start/finish tags, and maintains the queue.
+    cpu_s_per_request = {"native": 8e-6, "ibis": 25e-6}
+    bytes_per_queued_request = 120.0   # request object + heap slot
+
+    def run(builder, policy):
+        preloads = {}
+        if builder is wordcount:
+            preloads["/in/wiki"] = 50 * GB
+            spec = wordcount(config, "/in/wiki")
+        elif builder is terasort:
+            preloads["/in/tera"] = 100 * GB
+            spec = terasort(config, "/in/tera")
+        else:
+            spec = teragen(config)
+        return run_single_job(config, policy, spec, preloads, max_cores=96)
+
+    for builder, name in ((wordcount, "wordcount"), (teragen, "teragen"),
+                          (terasort, "terasort")):
+        for policy, label in ((PolicySpec.native(), "native"),
+                              (PolicySpec.sfqd2(ctrl, coordinated=True), "ibis")):
+            job, cluster = run(builder, policy)
+            requests = sum(s.stats.total_requests for s in cluster.schedulers())
+            sched_cpu_s = requests * cpu_s_per_request[label]
+            if label == "ibis":
+                sched_cpu_s += (cluster.broker.messages if cluster.broker else 0) * 50e-6
+            # per-core %, over the run, across the cluster's daemon cores
+            cpu_pct = 100.0 * sched_cpu_s / (job.runtime * config.n_workers)
+            mem_bytes = requests / max(1.0, job.runtime) * bytes_per_queued_request
+            if label == "ibis" and cluster.broker is not None:
+                mem_bytes += cluster.broker.message_bytes / max(1.0, job.runtime)
+            result.row(app=name, case=label,
+                       cpu_pct=cpu_pct,
+                       mem_mb_per_node=mem_bytes / MB,
+                       requests=requests)
+    return result
+
+
+# -------------------------------------------------------------------- Tab 3
+def tab3_loc(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Development cost (lines of code) per IBIS component — this
+    reproduction's equivalent of the paper's Table 3."""
+    result = ExperimentResult("tab3_loc")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    components = {
+        "interposition": ["core/tags.py", "core/request.py", "core/base.py",
+                          "core/interposition.py"],
+        "sfq(d) scheduler": ["core/sfq.py"],
+        "sfq(d2) scheduler": ["core/sfqd2.py", "core/profiling.py"],
+        "scheduling coordination": ["core/broker.py"],
+        "cgroups baseline": ["core/cgroups.py"],
+    }
+    total = 0
+    for component, files in components.items():
+        loc = 0
+        for rel in files:
+            text = (root / rel).read_text().splitlines()
+            loc += sum(
+                1 for line in text
+                if line.strip() and not line.strip().startswith("#")
+            )
+        result.row(component=component, loc=loc)
+        total += loc
+    result.row(component="total", loc=total)
+    return result

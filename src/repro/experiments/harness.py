@@ -1,0 +1,88 @@
+"""Shared experiment plumbing: result records, cached controllers,
+standard run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster import BigDataCluster
+from repro.config import MB, ClusterConfig, StorageProfile, default_cluster
+from repro.core import DepthController, PolicySpec
+from repro.core.profiling import calibrate_controller
+from repro.mapreduce import Job, JobSpec
+
+__all__ = [
+    "ExperimentResult",
+    "controller_for",
+    "run_single_job",
+    "total_throughput_mbs",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produced: named rows and optional series.
+
+    ``rows`` is a list of dicts (one per bar/line of the figure);
+    ``series`` maps a name to ``(times, values)`` pairs for
+    time-series figures (Fig. 2, Fig. 7) and CDFs (Fig. 9).
+    """
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def row(self, **kv: Any) -> None:
+        self.rows.append(kv)
+
+    def find(self, **match: Any) -> dict[str, Any]:
+        """The first row whose fields match (for assertions in tests)."""
+        for r in self.rows:
+            if all(r.get(k) == v for k, v in match.items()):
+                return r
+        raise KeyError(f"no row matching {match} in {self.name}")
+
+
+# The §4 profiling procedure is deterministic per storage profile, so
+# experiments share one calibration per profile.
+_CONTROLLERS: dict[tuple, DepthController] = {}
+
+
+def controller_for(config: ClusterConfig, **kwargs) -> DepthController:
+    """Cached ``calibrate_controller`` (one profiling pass per setup)."""
+    key = (config.storage, config.io_chunk, tuple(sorted(kwargs.items())))
+    ctrl = _CONTROLLERS.get(key)
+    if ctrl is None:
+        ctrl = _CONTROLLERS[key] = calibrate_controller(config, **kwargs)
+    return ctrl
+
+
+def run_single_job(
+    config: ClusterConfig,
+    policy: PolicySpec,
+    spec: JobSpec,
+    preloads: dict[str, float],
+    max_cores: Optional[int] = None,
+    io_weight: float = 1.0,
+) -> tuple[Job, BigDataCluster]:
+    """Run one job to completion on a fresh cluster."""
+    cluster = BigDataCluster(config, policy)
+    for path, size in preloads.items():
+        cluster.preload_input(path, size)
+    job = cluster.submit(spec, io_weight=io_weight, max_cores=max_cores)
+    cluster.run()
+    return job, cluster
+
+
+def total_throughput_mbs(cluster: BigDataCluster, t_end: float) -> float:
+    """Aggregate storage throughput (MB/s) over [0, t_end) — Fig. 6b/8b."""
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    total = 0.0
+    for node in cluster.nodes.values():
+        for dev in (node.hdfs_device, node.tmp_device):
+            total += dev.read_meter.window_total(0.0, t_end)
+            total += dev.write_meter.window_total(0.0, t_end)
+    return total / t_end / MB

@@ -1,0 +1,61 @@
+"""ASCII rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["format_result", "format_rows"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 10:
+            return f"{value:.3f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_rows(rows: list[dict[str, Any]]) -> str:
+    """Align a list of row dicts into a text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full report: name, rows, series summaries, notes."""
+    parts = [f"== {result.name} =="]
+    if result.rows:
+        parts.append(format_rows(result.rows))
+    for name, (times, values) in result.series.items():
+        if not values:
+            parts.append(f"series {name}: (empty)")
+            continue
+        parts.append(
+            f"series {name}: {len(values)} points, "
+            f"min {min(values):.2f}, max {max(values):.2f}, "
+            f"last t {times[-1]:.1f}"
+        )
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

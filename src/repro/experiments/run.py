@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Regenerate any figure or table of the paper from the shell::
+
+    python -m repro.experiments.run fig6
+    python -m repro.experiments.run fig10 fig11
+    python -m repro.experiments.run all
+    python -m repro.experiments.run --list
+    python -m repro.experiments.run fig6 --scale 128   # 1/128 volumes
+    python -m repro.experiments.run fig8 --storage ssd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import HDD_PROFILE, SSD_PROFILE, default_cluster
+from repro.experiments import figures
+from repro.experiments.report import format_result
+
+#: short name -> (function, description)
+EXPERIMENTS = {
+    "fig2": (figures.fig2_io_profiles, "I/O profiles of TeraSort & WordCount"),
+    "fig3": (figures.fig3_contention, "WC contention on native Hadoop"),
+    "fig6": (figures.fig6_isolation_hdd, "isolation: native vs SFQ(D) vs SFQ(D2)"),
+    "fig7": (figures.fig7_depth_adaptation, "SFQ(D2) depth adaptation trace"),
+    "fig8": (figures.fig8_isolation_ssd, "isolation on the SSD setup"),
+    "fig9": (figures.fig9_facebook, "Facebook2009 runtime CDFs"),
+    "fig10": (figures.fig10_multiframework, "TPC-H vs TeraSort: cgroups vs IBIS"),
+    "fig11": (figures.fig11_proportional_slowdown, "proportional slowdown"),
+    "fig12": (figures.fig12_coordination, "broker coordination on/off"),
+    "fig13": (figures.fig13_overhead, "IBIS overhead"),
+    "tab2": (figures.tab2_resource_usage, "daemon resource usage"),
+    "tab3": (figures.tab3_loc, "component development cost"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run",
+        description="Regenerate figures/tables of the IBIS paper (§7).",
+    )
+    parser.add_argument("names", nargs="*",
+                        help="experiment names (e.g. fig6 tab3) or 'all'")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--scale", type=float, default=64.0, metavar="N",
+                        help="run at 1/N of the paper's data volumes (default 64)")
+    parser.add_argument("--storage", choices=("hdd", "ssd"), default="hdd")
+    parser.add_argument("--seed", type=int, default=20160531)
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        for name, (_fn, desc) in EXPERIMENTS.items():
+            print(f"{name:<6} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                     f"use --list to see choices")
+
+    storage = SSD_PROFILE if args.storage == "ssd" else HDD_PROFILE
+    config = default_cluster(scale=1.0 / args.scale, storage=storage,
+                             seed=args.seed)
+    for name in names:
+        fn, _desc = EXPERIMENTS[name]
+        t0 = time.time()
+        result = fn(config)
+        print(format_result(result))
+        print(f"({name} regenerated in {time.time() - t0:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""HDFS substrate: namenode, datanode block service, and the DFSClient.
+
+The paper interposes at the GFS/HDFS layer (§3): map inputs are HDFS
+reads, reduce outputs are HDFS writes (with a 3-way replication
+pipeline), and the Data Node converts tagged block requests into local
+file-system I/Os which the IBIS scheduler queues and dispatches.
+"""
+
+from repro.hdfs.blocks import Block, BlockLocations, HdfsFile
+from repro.hdfs.client import DFSClient
+from repro.hdfs.namenode import NameNode
+
+__all__ = ["Block", "BlockLocations", "DFSClient", "HdfsFile", "NameNode"]

@@ -1,0 +1,53 @@
+"""Block and file metadata objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "BlockLocations", "HdfsFile"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block of a file."""
+
+    block_id: int
+    path: str
+    index: int   # position within the file
+    size: int    # bytes (the last block may be short)
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+        if self.index < 0:
+            raise ValueError("block index must be non-negative")
+
+
+@dataclass(frozen=True)
+class BlockLocations:
+    """A block plus the datanodes holding its replicas (primary first)."""
+
+    block: Block
+    replicas: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.replicas:
+            raise ValueError("a block must have at least one replica")
+
+    def closest(self, reader_node: str) -> str:
+        """The replica a reader should use: local if present, else primary."""
+        if reader_node in self.replicas:
+            return reader_node
+        return self.replicas[0]
+
+
+@dataclass
+class HdfsFile:
+    """Namespace entry: an ordered list of located blocks."""
+
+    path: str
+    blocks: list[BlockLocations] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(loc.block.size for loc in self.blocks)

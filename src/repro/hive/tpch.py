@@ -1,0 +1,116 @@
+"""TPC-H Q9 and Q21 as Hive job chains (§7.4).
+
+The paper characterises the two queries:
+
+* **Q9** (product type profit): 53 GB of initial input from five
+  tables, ~120 GB of intermediate I/O, up to 15 sequential Hadoop
+  jobs, 5 KB final output.  Join-heavy: most of its I/O is
+  *intermediate* (shuffle/spill) — which is why cgroups throttling,
+  which can reach intermediate I/O, helps Q9 (§7.4).
+* **Q21** (suppliers who kept orders waiting): 45 GB input from four
+  tables, ~40 GB intermediate, 2.6 GB output.  Relatively more of its
+  I/O is *persistent* (HDFS scans of lineitem several times), so
+  cgroups barely helps while IBIS — which schedules HDFS I/O too —
+  does.
+
+Stage volumes below are a per-stage decomposition consistent with those
+totals (the TPC-H spec fixes the table sizes; the per-stage split
+follows the usual Hive plans: scan+join stages first, aggregation and
+ordering at the tail).
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, GB, KB, MB
+from repro.hive.engine import HiveQuery
+from repro.mapreduce import JobSpec
+
+__all__ = ["tpch_q9", "tpch_q21"]
+
+
+def _stage(
+    config: ClusterConfig,
+    query: str,
+    idx: int,
+    input_path: str,
+    shuffle: float,
+    output: float,
+    cpu: float = 0.012,
+    n_reduces: int = 8,
+) -> JobSpec:
+    shuffle_scaled = config.scaled(shuffle) if shuffle > 0 else 0
+    return JobSpec(
+        name=f"{query}-s{idx}",
+        input_path=input_path,
+        shuffle_bytes=shuffle_scaled,
+        output_bytes=max(1, config.scaled(output)),
+        n_reduces=n_reduces if shuffle_scaled > 0 else 0,
+        map_cpu_s_per_mb=cpu,
+        reduce_cpu_s_per_mb=cpu,
+        map_spill_factor=1.2,
+        reduce_merge_factor=1.0,
+    )
+
+
+def tpch_q9(config: ClusterConfig, tables_path: str = "/tpch/q9-tables") -> HiveQuery:
+    """Q9: five-table join cascade, intermediate-I/O heavy.
+
+    Totals: 53 GB table input, ≈120 GB intermediate (sum of stage
+    shuffles + spills), 5 KB output.
+    """
+    q = "q9"
+    tmp = f"/tmp/{q}"
+    stages = (
+        # Join lineitem ⋈ part ⋈ supplier: big scan, big shuffle.
+        _stage(config, q, 0, tables_path, shuffle=42 * GB, output=30 * GB),
+        # ⋈ partsupp: re-shuffle of the joined relation.
+        _stage(config, q, 1, f"{tmp}/s0", shuffle=30 * GB, output=22 * GB),
+        # ⋈ orders ⋈ nation: still volume-heavy.
+        _stage(config, q, 2, f"{tmp}/s1", shuffle=22 * GB, output=12 * GB),
+        # Per-(nation, year) partial aggregation.
+        _stage(config, q, 3, f"{tmp}/s2", shuffle=12 * GB, output=2 * GB),
+        # Global aggregation.
+        _stage(config, q, 4, f"{tmp}/s3", shuffle=2 * GB, output=64 * MB,
+               n_reduces=4),
+        # Final ordering: tiny.
+        _stage(config, q, 5, f"{tmp}/s4", shuffle=64 * MB, output=5 * KB,
+               n_reduces=1),
+    )
+    return HiveQuery(
+        name="TPC-H Q9",
+        stages=stages,
+        table_paths=(tables_path,),
+        table_bytes=(53 * GB,),
+    )
+
+
+def tpch_q21(config: ClusterConfig, tables_path: str = "/tpch/q21-tables") -> HiveQuery:
+    """Q21: repeated lineitem scans (self-joins), persistent-I/O heavy.
+
+    Totals: 45 GB table input read multiple times across stages,
+    ≈40 GB intermediate, 2.6 GB output.
+    """
+    q = "q21"
+    tmp = f"/tmp/{q}"
+    stages = (
+        # Scan lineitem ⋈ supplier ⋈ orders with exists-subquery: the
+        # whole input, but a selective shuffle.
+        _stage(config, q, 0, tables_path, shuffle=14 * GB, output=10 * GB),
+        # Self-join against lineitem again: another full persistent scan.
+        _stage(config, q, 1, tables_path, shuffle=12 * GB, output=8 * GB,
+               cpu=0.010),
+        # not-exists anti-join of the two intermediate relations.
+        _stage(config, q, 2, f"{tmp}/s1", shuffle=8 * GB, output=4 * GB),
+        # Count per supplier.
+        _stage(config, q, 3, f"{tmp}/s2", shuffle=4 * GB, output=2.6 * GB,
+               n_reduces=8),
+        # Order/limit.
+        _stage(config, q, 4, f"{tmp}/s3", shuffle=2 * GB, output=2.6 * GB,
+               n_reduces=4),
+    )
+    return HiveQuery(
+        name="TPC-H Q21",
+        stages=stages,
+        table_paths=(tables_path,),
+        table_bytes=(45 * GB,),
+    )

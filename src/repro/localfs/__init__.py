@@ -1,0 +1,5 @@
+"""Local file system substrate for intermediate (spill/merge) data."""
+
+from repro.localfs.filesystem import LocalFS
+
+__all__ = ["LocalFS"]

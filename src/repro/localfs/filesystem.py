@@ -1,0 +1,66 @@
+"""Chunked intermediate I/O against a node's temporary-data disk.
+
+Map and reduce tasks spill and merge in-progress data on the node's
+local file system (§3, "Intermediate I/Os").  IBIS tags these I/Os and
+routes them through the INTERMEDIATE-class interposed scheduler; the
+shuffle servlet's reads of map outputs go through the NETWORK-class
+scheduler on the same disk.
+
+Writes are pipelined (write-behind through the page cache), reads use
+a modest readahead — same windows as the HDFS streams.
+"""
+
+from __future__ import annotations
+
+from repro.core import DataNodeIO, IOClass, IORequest, IOTag
+from repro.hdfs.datanode import iter_chunks, windowed_stream
+from repro.simcore import Simulator
+
+__all__ = ["LocalFS"]
+
+
+class LocalFS:
+    """Intermediate-data I/O entry point for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: DataNodeIO,
+        chunk: int,
+        read_window: int = 2,
+        write_window: int = 4,
+    ):
+        self.sim = sim
+        self.node = node
+        self.chunk = chunk
+        self.read_window = read_window
+        self.write_window = write_window
+
+    def write(self, nbytes: int, tag: IOTag):
+        """Generator: spill ``nbytes`` of intermediate data."""
+        return (yield from self._stream(
+            "write", nbytes, tag, IOClass.INTERMEDIATE, self.write_window
+        ))
+
+    def read(self, nbytes: int, tag: IOTag):
+        """Generator: read ``nbytes`` of intermediate data (merge input)."""
+        return (yield from self._stream(
+            "read", nbytes, tag, IOClass.INTERMEDIATE, self.read_window
+        ))
+
+    def servlet_read(self, nbytes: int, tag: IOTag):
+        """Generator: the Node Manager shuffle servlet reading a map
+        output on behalf of a remote reduce task (NETWORK class, §3)."""
+        return (yield from self._stream(
+            "read", nbytes, tag, IOClass.NETWORK, self.read_window
+        ))
+
+    def _stream(self, op, nbytes, tag, io_class, window):
+        def make(size):
+            return lambda: self.node.submit(
+                IORequest(self.sim, tag, op, size, io_class)
+            )
+
+        thunks = (make(s) for s in iter_chunks(nbytes, self.chunk))
+        yield from windowed_stream(self.sim, thunks, window)
+        return nbytes

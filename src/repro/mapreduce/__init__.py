@@ -1,0 +1,14 @@
+"""MapReduce substrate: jobs, tasks, and the per-job Application Master.
+
+Reproduces the I/O anatomy of Figure 1: map tasks read HDFS splits
+(persistent I/O), spill/merge intermediate results locally
+(intermediate I/O); reduce tasks shuffle map outputs through the Node
+Manager servlet (network I/O at the source, intermediate at the sink),
+merge, and write their final output to HDFS through the replication
+pipeline.
+"""
+
+from repro.mapreduce.appmaster import AppMaster
+from repro.mapreduce.job import Job, JobSpec
+
+__all__ = ["AppMaster", "Job", "JobSpec"]

@@ -1,0 +1,119 @@
+"""The per-job Application Master.
+
+Plans splits (one map per input block, locality-preferring), requests
+containers from the Resource Manager, runs task processes inside them,
+launches reducers once the slowstart fraction of maps has completed
+(their shuffle overlaps the remaining map waves, as in Hadoop), and
+marks the job finished when its last task ends.
+"""
+
+from __future__ import annotations
+
+from repro.config import YarnConfig
+from repro.mapreduce.job import Job
+from repro.mapreduce.task import TaskEnv, run_map_task, run_reduce_task
+from repro.yarnsim import ContainerGrant, ResourceManager
+
+__all__ = ["AppMaster"]
+
+
+class AppMaster:
+    def __init__(
+        self,
+        env: TaskEnv,
+        rm: ResourceManager,
+        job: Job,
+        yarn: YarnConfig,
+    ):
+        self.env = env
+        self.rm = rm
+        self.job = job
+        self.yarn = yarn
+
+    # ---------------------------------------------------------------- plan
+    def plan_splits(self) -> list[tuple[tuple[int, ...], tuple[str, ...]]]:
+        """Return one (block_indices, preferred_nodes) entry per map."""
+        spec = self.job.spec
+        if spec.input_path is None:
+            return [((), ()) for _ in range(spec.n_maps or 0)]
+        f = self.env.dfs.namenode.lookup(spec.input_path)
+        blocks = list(range(len(f.blocks)))
+        if spec.n_maps is not None and spec.n_maps < len(blocks):
+            # Group consecutive blocks into the requested number of splits.
+            n = spec.n_maps
+            out = []
+            per = len(blocks) / n
+            for i in range(n):
+                lo, hi = round(i * per), round((i + 1) * per)
+                group = tuple(blocks[lo:hi])
+                preferred = f.blocks[group[0]].replicas if group else ()
+                out.append((group, preferred))
+            return [s for s in out if s[0]]
+        return [((i,), f.blocks[i].replicas) for i in blocks]
+
+    # ----------------------------------------------------------------- run
+    def run(self):
+        """Generator: the AM main loop (spawned as a process)."""
+        sim = self.env.sim
+        job = self.job
+        spec = job.spec
+        job.start_time = sim.now
+
+        splits = self.plan_splits()
+        job.n_maps_total = len(splits)
+        if job.n_maps_total == 0:
+            raise ValueError(f"job {spec.name!r} planned zero maps")
+
+        def map_factory(i, blocks):
+            return lambda node: run_map_task(self.env, job, i, node, blocks)
+
+        map_procs = [
+            sim.process(
+                self._run_in_container(
+                    map_factory(i, blocks),
+                    vcores=self.yarn.map_task_vcores,
+                    memory=self.yarn.map_task_memory,
+                    preferred=preferred,
+                ),
+                name=f"{job.app_id}:map{i}",
+            )
+            for i, (blocks, preferred) in enumerate(splits)
+        ]
+
+        reduce_procs = []
+        if spec.n_reduces > 0:
+            threshold = max(1, int(spec.slowstart * job.n_maps_total))
+            while job.maps_completed < threshold:
+                yield job.map_output_gate.wait()
+            def reduce_factory(r):
+                return lambda node: run_reduce_task(self.env, job, r, node)
+
+            reduce_procs = [
+                sim.process(
+                    self._run_in_container(
+                        reduce_factory(r),
+                        vcores=self.yarn.reduce_task_vcores,
+                        memory=self.yarn.reduce_task_memory,
+                        preferred=(),
+                    ),
+                    name=f"{job.app_id}:red{r}",
+                )
+                for r in range(spec.n_reduces)
+            ]
+
+        yield sim.all_of(map_procs + reduce_procs)
+        job.finish()
+
+    def _run_in_container(self, task_factory, vcores: int, memory: int, preferred):
+        """Generator: acquire a container, build the task for the granted
+        node, run it, and release the container whatever happens."""
+        sim = self.env.sim
+        grant: ContainerGrant = yield self.rm.request_container(
+            self.job.app_id, vcores, memory, preferred
+        )
+        try:
+            yield sim.process(
+                task_factory(grant.node_id), name=f"task@{grant.node_id}"
+            )
+        finally:
+            self.rm.release_container(self.job.app_id, grant)

@@ -1,0 +1,5 @@
+"""Network substrate: per-node NICs with fair-shared bandwidth."""
+
+from repro.net.fabric import Link, NetFabric
+
+__all__ = ["Link", "NetFabric"]

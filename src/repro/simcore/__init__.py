@@ -1,0 +1,37 @@
+"""Discrete-event simulation core.
+
+A small, dependency-free discrete-event engine in the style of SimPy:
+generator-coroutine processes scheduled over a binary-heap event queue,
+with deterministic tie-breaking, counting resources, stores, and
+instrumentation primitives (time series, rate meters).
+
+Everything in the IBIS reproduction — storage devices, HDFS, YARN,
+MapReduce tasks, and the IBIS schedulers themselves — runs on this engine.
+"""
+
+from repro.simcore.engine import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simcore.instrument import Counter, RateMeter, TimeSeries
+from repro.simcore.resources import Gate, Resource, Store
+from repro.simcore.rng import RngRegistry
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "RateMeter",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+]

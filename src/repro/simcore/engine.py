@@ -1,0 +1,395 @@
+"""Event loop, events, and generator-coroutine processes.
+
+The engine is deliberately minimal but complete enough to host the whole
+IBIS cluster simulation:
+
+* :class:`Simulator` owns the clock and a binary-heap event queue with
+  deterministic ``(time, sequence)`` ordering, so two runs with the same
+  seeds produce identical traces.
+* :class:`Event` is a one-shot occurrence that callbacks (or processes)
+  can wait on; it may succeed with a value or fail with an exception.
+* :class:`Process` wraps a generator.  The generator ``yield``s events;
+  when the event triggers, its value is sent back into the generator
+  (or the stored exception is thrown into it).
+* :class:`Timeout` is an event that triggers after a simulated delay.
+* Processes can be interrupted (:class:`Interrupt`), which is how task
+  preemption is modelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    ``cause`` carries an arbitrary payload describing why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled for processing, value/exception set
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* the event: it is put on the simulator's queue (at the
+    current time unless it was created by :class:`Timeout`) and its
+    callbacks run when it is popped.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = _PENDING
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state >= _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._push(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.sim._push(delay, self)
+        return self
+
+    # -- internal -----------------------------------------------------------
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<Event {self.name or hex(id(self))} {state[self._state]}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        sim._push(delay, self)
+
+
+class Process(Event):
+    """A running generator-coroutine.
+
+    The process itself is an event that triggers when the generator
+    returns (success, value = return value) or raises (failure).  Other
+    processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_gen", "_target", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {gen!r}")
+        self._gen = gen
+        self._target: Optional[Event] = None  # event we are waiting on
+        self._interrupts: list[Interrupt] = []
+        # Kick off at the current simulation time via an initialisation event.
+        init = Event(sim, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        self._target = init
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None:
+            # Stop waiting on the target: de-register our resume callback.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        wake = Event(self.sim, name=f"interrupt:{self.name}")
+        wake.callbacks.append(self._resume)
+        wake.succeed()
+
+    # -- stepping ------------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        if self._state != _PENDING:  # already finished (e.g. raced interrupt)
+            return
+        if trigger is not self._target and not self._interrupts:
+            return  # stale wake-up (e.g. interrupt already delivered)
+        self._target = None
+        sim = self.sim
+        sim._active = self
+        try:
+            while True:
+                if self._interrupts:
+                    exc: BaseException = self._interrupts.pop(0)
+                    try:
+                        nxt = self._gen.throw(exc)
+                    except StopIteration as stop:
+                        self._finish_ok(stop.value)
+                        return
+                elif trigger._exc is not None:
+                    try:
+                        nxt = self._gen.throw(trigger._exc)
+                    except StopIteration as stop:
+                        self._finish_ok(stop.value)
+                        return
+                else:
+                    try:
+                        nxt = self._gen.send(trigger._value)
+                    except StopIteration as stop:
+                        self._finish_ok(stop.value)
+                        return
+                if not isinstance(nxt, Event):
+                    raise SimulationError(
+                        f"process {self.name} yielded non-event {nxt!r}"
+                    )
+                if nxt._state == _PROCESSED:
+                    # Already done: loop synchronously with its outcome.
+                    trigger = nxt
+                    continue
+                self._target = nxt
+                nxt.callbacks.append(self._resume)
+                return
+        except BaseException as exc:  # generator raised: fail the process event
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._finish_fail(exc)
+        finally:
+            sim._active = None
+
+    def _finish_ok(self, value: Any) -> None:
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._push(0.0, self)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.sim._push(0.0, self)
+        # If nobody is joining this process, surface the error at run() time.
+        self.sim._defunct.append(self)
+
+
+class Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], mode: str):
+        super().__init__(sim, name=mode)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self._check(ev, mode)
+            else:
+                ev.callbacks.append(lambda e, m=mode: self._check(e, m))
+
+    def _check(self, ev: Event, mode: str) -> None:
+        if self._state != _PENDING:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._remaining -= 1
+        if mode == "any" or self._remaining == 0:
+            # _process() flips state to PROCESSED before callbacks run, so
+            # the event that fired this check is included.
+            self.succeed([e._value for e in self._events if e.processed])
+
+
+class AllOf(Condition):
+    """Triggers when all component events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "all")
+
+
+class AnyOf(Condition):
+    """Triggers when any component event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "any")
+
+
+class Simulator:
+    """The event loop: clock + heap of triggered events.
+
+    Ordering is by ``(time, sequence)`` where ``sequence`` is a global
+    monotonically increasing counter, making runs fully deterministic.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+        self._defunct: list[Process] = []  # failed processes, checked in run()
+
+    # -- event construction helpers ------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
+        ev = Event(self, name="call_at")
+        ev.callbacks.append(lambda _ev: fn())
+        ev._state = _TRIGGERED
+        self._push(when - self.now, ev)
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        return self.call_at(self.now + delay, fn)
+
+    # -- queue internals --------------------------------------------------
+    def _push(self, delay: float, ev: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+
+    # -- running -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _seq, ev = heapq.heappop(self._heap)
+        self.now = when
+        ev._process()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the given time, the given event triggers, or the queue
+        drains.  Returns the event's value when ``until`` is an event.
+
+        Failed processes that nobody joined re-raise here so model bugs
+        cannot pass silently.
+        """
+        if isinstance(until, Event):
+            stop_ev = until
+            while not stop_ev.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran dry before event {stop_ev!r} triggered"
+                    )
+                self.step()
+                self._raise_defunct(stop_ev)
+            return stop_ev.value
+        horizon = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+            self._raise_defunct(None)
+        if self._heap and horizon != float("inf"):
+            self.now = horizon
+        return None
+
+    def _raise_defunct(self, joined: Optional[Event]) -> None:
+        while self._defunct:
+            proc = self._defunct.pop()
+            if proc is joined:
+                continue
+            # A process failure with a registered waiter is someone else's
+            # problem; without one it is an unhandled model error.
+            if not proc.callbacks and proc._exc is not None:
+                raise proc._exc

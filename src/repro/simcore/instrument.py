@@ -1,0 +1,138 @@
+"""Instrumentation: time series, counters, and rate meters.
+
+These are the probes behind every figure in the paper: Fig. 2's
+throughput-vs-time profiles, Fig. 7's depth/latency traces, and the
+per-application service accounting used by the Scheduling Broker.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Counter", "RateMeter", "TimeSeries", "percentile_of"]
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"non-monotone time in series {self.name!r}: {t} < {self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup: the last recorded value at or before t."""
+        if not self.times:
+            raise ValueError(f"empty series {self.name!r}")
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ValueError(f"t={t} precedes first sample of {self.name!r}")
+        return self.values[i]
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return float(np.mean(self.values))
+
+    def window_mean(self, t0: float, t1: float) -> float:
+        """Mean of samples whose timestamps fall in [t0, t1)."""
+        lo = bisect.bisect_left(self.times, t0)
+        hi = bisect.bisect_left(self.times, t1)
+        if hi <= lo:
+            return 0.0
+        return float(np.mean(self.values[lo:hi]))
+
+
+class Counter:
+    """A monotone accumulator (bytes serviced, requests completed, ...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total = 0.0
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.total += amount
+
+
+class RateMeter:
+    """Accumulates (time, amount) events and reports windowed rates.
+
+    Used to turn completed-I/O byte counts into MB/s-vs-time series for
+    the throughput figures.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.amounts: list[float] = []
+        self.total = 0.0
+
+    def add(self, t: float, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative amount in rate meter {self.name!r}")
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"non-monotone time in rate meter {self.name!r}")
+        self.times.append(t)
+        self.amounts.append(amount)
+        self.total += amount
+
+    def rate_series(self, bucket: float, t_end: float | None = None) -> TimeSeries:
+        """Bucketed rate (amount per second) over [0, t_end)."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        out = TimeSeries(f"rate:{self.name}")
+        if not self.times and t_end is None:
+            return out
+        end = t_end if t_end is not None else self.times[-1] + bucket
+        n_buckets = max(1, int(np.ceil(end / bucket)))
+        sums = np.zeros(n_buckets)
+        for t, a in zip(self.times, self.amounts):
+            idx = min(int(t / bucket), n_buckets - 1)
+            sums[idx] += a
+        for i in range(n_buckets):
+            out.record(i * bucket, sums[i] / bucket)
+        return out
+
+    def window_total(self, t0: float, t1: float) -> float:
+        """Sum of amounts recorded in [t0, t1)."""
+        lo = bisect.bisect_left(self.times, t0)
+        hi = bisect.bisect_left(self.times, t1)
+        return float(sum(self.amounts[lo:hi]))
+
+    def mean_rate(self, t_end: float | None = None) -> float:
+        if not self.times:
+            return 0.0
+        end = t_end if t_end is not None else self.times[-1]
+        if end <= 0:
+            return 0.0
+        return self.total / end
+
+
+def percentile_of(samples: Sequence[float] | Iterable[float], q: float) -> float:
+    """Convenience wrapper: q-th percentile of a sample list (q in [0,100])."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sample set")
+    return float(np.percentile(arr, q))

@@ -1,0 +1,148 @@
+"""Shared-resource primitives built on the event engine.
+
+* :class:`Resource` — a counting semaphore with a FIFO wait queue.  Used
+  for CPU slots / container allocation on nodes.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``.
+  Used for request queues and message channels.
+* :class:`Gate` — a broadcast condition: many waiters, one ``open()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.simcore.engine import Event, SimulationError, Simulator
+
+__all__ = ["Gate", "Resource", "Store"]
+
+
+class Resource:
+    """Counting resource with FIFO granting.
+
+    ``acquire(n)`` returns an event that succeeds once ``n`` units are
+    granted; ``release(n)`` returns units.  Waiters are served strictly
+    in FIFO order (a large request at the head blocks later small ones —
+    matching how YARN hands out containers per app request order).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self.name = name
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self, amount: int = 1) -> Event:
+        if amount <= 0 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot acquire {amount} of {self.capacity} from {self.name!r}"
+            )
+        ev = Event(self.sim, name=f"acquire:{self.name}")
+        self._waiters.append((ev, amount))
+        self._grant()
+        return ev
+
+    def release(self, amount: int = 1) -> None:
+        if amount <= 0:
+            raise SimulationError(f"release amount must be positive: {amount}")
+        if self.in_use - amount < 0:
+            raise SimulationError(
+                f"over-release on {self.name!r}: in_use={self.in_use}, amount={amount}"
+            )
+        self.in_use -= amount
+        self._grant()
+
+    def cancel(self, ev: Event) -> bool:
+        """Withdraw a pending acquire.  Returns True if it was removed."""
+        for i, (waiter, amount) in enumerate(self._waiters):
+            if waiter is ev:
+                del self._waiters[i]
+                return True
+        return False
+
+    def _grant(self) -> None:
+        while self._waiters:
+            ev, amount = self._waiters[0]
+            if ev.triggered:  # externally failed / abandoned
+                self._waiters.popleft()
+                continue
+            if amount > self.available:
+                return
+            self._waiters.popleft()
+            self.in_use += amount
+            ev.succeed(amount)
+
+
+class Store:
+    """Unbounded FIFO item store with blocking ``get``.
+
+    ``put`` never blocks (queues in big-data daemons are effectively
+    unbounded and backpressure is modelled at the device, where it
+    belongs for this paper).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class Gate:
+    """A broadcast condition.
+
+    ``wait()`` returns an event; ``open(value)`` triggers every waiter.
+    The gate can be reused: after ``open`` it resets to closed.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        ev = Event(self.sim, name=f"gate:{self.name}")
+        self._waiters.append(ev)
+        return ev
+
+    def open(self, value: Any = None) -> int:
+        """Release all current waiters; returns how many were released."""
+        waiters, self._waiters = self._waiters, []
+        n = 0
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(value)
+                n += 1
+        return n

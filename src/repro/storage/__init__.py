@@ -1,0 +1,13 @@
+"""Storage substrate: processor-sharing device model with write-back storms.
+
+The paper's schedulers sit on top of a real disk whose throughput rises
+(and saturates) with I/O concurrency while per-request latency keeps
+growing.  :class:`StorageDevice` reproduces exactly that behaviour, plus
+flash read/write asymmetry and page-cache foreground-flush latency
+spikes — the three storage phenomena the evaluation (§7.2, Fig. 7/8)
+depends on.
+"""
+
+from repro.storage.device import IOCompletion, StorageDevice
+
+__all__ = ["IOCompletion", "StorageDevice"]

@@ -1,0 +1,233 @@
+"""Storage device with FCFS or processor-sharing service.
+
+Model
+-----
+With ``n`` requests in flight the device delivers an aggregate service
+rate ``W(n) = peak_rate · n / (n + n_half)`` — throughput saturates with
+concurrency (the elevator/NCQ effect).  A request of ``b`` bytes carries
+``b · op_cost + request_overhead`` *work units*.  Two disciplines:
+
+* ``fcfs`` (disks): requests are *serviced serially in arrival order*
+  at the aggregate rate — one transfer at a time, with outstanding
+  requests only improving head scheduling.  A request's latency is the
+  queued work ahead of it, which is why admission order (exactly what
+  SFQ(D) controls) dominates interference on disks, and why an
+  uncontrolled flood devastates a latecomer on native Hadoop.
+* ``ps`` (network pipes): ``n`` flows share ``W(n)`` equally.
+
+Writes on flash (``write_cost > 1``) consume more service than reads —
+the asymmetry behind the paper's SSD result.
+
+Both disciplines run on one mechanism: a *virtual work time* ``V``.
+Under PS, ``V`` advances at the per-request rate ``W(n)/n`` and request
+targets are ``V_admit + work``; under FCFS, ``V`` advances at ``W(n)``
+and targets are cumulative (``previous target + work``).  All updates
+are O(log n).
+
+Write-back storms
+-----------------
+Each time cumulative write bytes cross ``flush_threshold``, the device
+rate is multiplied by ``flush_factor`` for ``flush_duration`` seconds —
+the foreground page-cache flushes visible as latency spikes in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import StorageProfile
+from repro.simcore import Event, RateMeter, Simulator, TimeSeries
+
+__all__ = ["IOCompletion", "StorageDevice"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class IOCompletion:
+    """Returned as the value of a completed I/O's event."""
+
+    op: str          # "read" | "write"
+    nbytes: int
+    latency: float   # seconds from submit to completion
+
+
+class _Active:
+    __slots__ = ("op", "nbytes", "submit_time", "event", "target_v")
+
+    def __init__(self, op: str, nbytes: int, submit_time: float, event: Event):
+        self.op = op
+        self.nbytes = nbytes
+        self.submit_time = submit_time
+        self.event = event
+        self.target_v = 0.0
+
+
+class StorageDevice:
+    """A single spindle/flash device with processor-sharing service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: StorageProfile,
+        name: str = "disk",
+        record_latency: bool = False,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+
+        self._v = 0.0                 # virtual work time (per-request progress)
+        self._v_updated = sim.now     # wall time of last _v update
+        self._heap: list[tuple[float, int, _Active]] = []
+        self._seq = 0
+        self._gen = 0                 # generation token for completion callbacks
+        self._scheduled_target = 0.0  # heap-head V target of the live tick
+        self._last_target = 0.0       # fcfs: cumulative work target tail
+        self._fcfs = profile.discipline == "fcfs"
+
+        self._storm_until = 0.0
+        self._written_since_flush = 0.0
+
+        # Instrumentation
+        self.read_meter = RateMeter(f"{name}:read")
+        self.write_meter = RateMeter(f"{name}:write")
+        self.latency_series: Optional[TimeSeries] = (
+            TimeSeries(f"{name}:latency") if record_latency else None
+        )
+        self.completed_requests = 0
+
+    # ------------------------------------------------------------------ api
+    @property
+    def in_flight(self) -> int:
+        return len(self._heap)
+
+    def submit(self, op: str, nbytes: int) -> Event:
+        """Begin servicing an I/O immediately (no internal queue — admission
+        control is the scheduler's job).  The returned event succeeds with an
+        :class:`IOCompletion` when the device finishes the request."""
+        if op not in ("read", "write"):
+            raise ValueError(f"unknown op {op!r}")
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        self._advance()
+        ev = Event(self.sim, name=f"io:{self.name}:{op}")
+        entry = _Active(op, int(nbytes), self.sim.now, ev)
+        cost = self.profile.read_cost if op == "read" else self.profile.write_cost
+        work = nbytes * cost + self.profile.request_overhead
+        if self._fcfs:
+            # Serial service: this request completes after all work ahead.
+            self._last_target = max(self._last_target, self._v) + work
+            entry.target_v = self._last_target
+        else:
+            entry.target_v = self._v + work
+        self._seq += 1
+        heapq.heappush(self._heap, (entry.target_v, self._seq, entry))
+        if op == "write":
+            self._note_write(nbytes)
+        self._reschedule()
+        return ev
+
+    def current_rate(self) -> float:
+        """Aggregate service rate right now (work units / second)."""
+        n = len(self._heap)
+        rate = self.profile.rate_at(n)
+        if self.sim.now < self._storm_until:
+            rate *= self.profile.flush_factor
+        return rate
+
+    @property
+    def in_storm(self) -> bool:
+        return self.sim.now < self._storm_until
+
+    # ----------------------------------------------------------- internals
+    def _progress_rate(self) -> float:
+        """Rate at which the virtual work time V advances."""
+        n = len(self._heap)
+        if n == 0:
+            return 0.0
+        rate = self.current_rate()
+        return rate if self._fcfs else rate / n
+
+    def _advance(self) -> None:
+        """Bring the virtual work time up to ``sim.now``.
+
+        The population ``n`` is constant between updates (it only changes
+        inside submit/complete, which advance first), but the elapsed
+        interval may span the end of a flush storm, so integrate piecewise.
+        """
+        now = self.sim.now
+        t = self._v_updated
+        if now > t:
+            n = len(self._heap)
+            if n > 0:
+                base = self.profile.rate_at(n)
+                if not self._fcfs:
+                    base /= n
+                storm_end = self._storm_until
+                if t < storm_end:
+                    seg_end = min(now, storm_end)
+                    self._v += (seg_end - t) * base * self.profile.flush_factor
+                    t = seg_end
+                if now > t:
+                    self._v += (now - t) * base
+        self._v_updated = now
+
+    def _reschedule(self) -> None:
+        """(Re)schedule the next completion callback."""
+        self._gen += 1
+        if not self._heap:
+            return
+        rate = self._progress_rate()
+        if rate <= 0:
+            raise RuntimeError(f"device {self.name}: zero rate with work queued")
+        target_v = self._heap[0][0]
+        dt = max(0.0, (target_v - self._v) / rate)
+        self._scheduled_target = target_v
+        gen = self._gen
+        self.sim.call_in(dt, lambda: self._on_tick(gen))
+
+    def _on_tick(self, gen: int) -> None:
+        if gen != self._gen:
+            return  # superseded by a later state change
+        self._advance()
+        # The tick was scheduled to land exactly on the heap-head target;
+        # snap V there so float rounding cannot strand the completion.
+        self._v = max(self._v, self._scheduled_target)
+        now = self.sim.now
+        while self._heap and self._heap[0][0] <= self._v + _EPS:
+            _tv, _seq, entry = heapq.heappop(self._heap)
+            latency = now - entry.submit_time
+            done = IOCompletion(entry.op, entry.nbytes, latency)
+            meter = self.read_meter if entry.op == "read" else self.write_meter
+            meter.add(now, entry.nbytes)
+            if self.latency_series is not None:
+                self.latency_series.record(now, latency)
+            self.completed_requests += 1
+            entry.event.succeed(done)
+        self._reschedule()
+
+    def _note_write(self, nbytes: int) -> None:
+        if self.profile.flush_threshold <= 0:
+            return
+        self._written_since_flush += nbytes
+        if self._written_since_flush >= self.profile.flush_threshold:
+            self._written_since_flush -= self.profile.flush_threshold
+            self._start_storm()
+
+    def _start_storm(self) -> None:
+        now = self.sim.now
+        was_in_storm = now < self._storm_until
+        self._storm_until = max(self._storm_until, now) + self.profile.flush_duration
+        if not was_in_storm:
+            # Rate just dropped: virtual time must advance at the new rate.
+            self._reschedule()
+        end = self._storm_until
+        self.sim.call_at(end, self._on_storm_boundary)
+
+    def _on_storm_boundary(self) -> None:
+        # Rate may have just recovered; re-evaluate.
+        self._advance()
+        self._reschedule()

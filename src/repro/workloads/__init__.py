@@ -1,0 +1,25 @@
+"""Workload builders: the benchmark applications of §7.
+
+Every builder takes the cluster configuration and returns a
+:class:`~repro.mapreduce.job.JobSpec` with paper-sized volumes scaled
+down by ``config.scale``.
+"""
+
+from repro.workloads.apps import (
+    teragen,
+    terasort,
+    teravalidate,
+    wordcount,
+)
+from repro.workloads.swim import SwimJob, facebook2009_trace
+from repro.workloads.synthetic import io_ramp_job
+
+__all__ = [
+    "SwimJob",
+    "facebook2009_trace",
+    "io_ramp_job",
+    "teragen",
+    "terasort",
+    "teravalidate",
+    "wordcount",
+]

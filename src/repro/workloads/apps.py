@@ -1,0 +1,101 @@
+"""The four classic benchmark applications (§7.1).
+
+CPU costs are calibrated so the *relative* I/O intensities match the
+paper's Fig. 2 characterisation:
+
+* **TeraGen** — pure HDFS writer, almost no compute: the aggressor.
+* **TeraSort** — I/O-intensive everywhere: HDFS reads + heavy
+  intermediate writes in the map phase, full-volume shuffle, and
+  replicated HDFS writes in the reduce phase.
+* **WordCount** — compute-heavy maps over a large input, sizeable
+  intermediate traffic throughout, tiny output: the vulnerable,
+  less-I/O-intensive workload the isolation experiments protect.
+* **TeraValidate** — read-mostly scan of sorted output.
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, GB, TB
+from repro.mapreduce import JobSpec
+
+__all__ = ["teragen", "terasort", "teravalidate", "wordcount"]
+
+
+def _n_blocks(config: ClusterConfig, nbytes_paper: float) -> int:
+    scaled = config.scaled(nbytes_paper)
+    return max(1, scaled // config.sim_block_size)
+
+
+def teragen(
+    config: ClusterConfig,
+    output_bytes: float = 1 * TB,
+    name: str = "teragen",
+) -> JobSpec:
+    """Map-only HDFS writer (1 TB output in the paper)."""
+    out = config.scaled(output_bytes)
+    return JobSpec(
+        name=name,
+        n_maps=_n_blocks(config, output_bytes),
+        output_bytes=out,
+        n_reduces=0,
+        map_cpu_s_per_mb=0.001,   # row generation is nearly free
+    )
+
+
+def terasort(
+    config: ClusterConfig,
+    input_path: str,
+    input_bytes: float = 100 * GB,
+    n_reduces: int = 12,
+    name: str = "terasort",
+) -> JobSpec:
+    """Full sort: shuffle == output == input (50–400 GB in the paper)."""
+    scaled = config.scaled(input_bytes)
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        shuffle_bytes=scaled,
+        output_bytes=scaled,
+        n_reduces=n_reduces,
+        map_cpu_s_per_mb=0.004,
+        reduce_cpu_s_per_mb=0.006,
+        map_spill_factor=1.3,     # sort spills + multi-pass merge
+        reduce_merge_factor=1.0,
+    )
+
+
+def wordcount(
+    config: ClusterConfig,
+    input_path: str,
+    input_bytes: float = 50 * GB,
+    n_reduces: int = 8,
+    name: str = "wordcount",
+) -> JobSpec:
+    """Compute-heavy aggregation over 50 GB of Wikipedia text."""
+    scaled = config.scaled(input_bytes)
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        shuffle_bytes=int(scaled * 0.10),   # combiner shrinks map output
+        output_bytes=max(1, int(scaled * 0.05)),
+        n_reduces=n_reduces,
+        map_cpu_s_per_mb=0.22,    # tokenising dominates
+        reduce_cpu_s_per_mb=0.06,
+        map_spill_factor=1.5,     # "plenty of intermediate writes" (Fig. 2b)
+        reduce_merge_factor=1.0,
+    )
+
+
+def teravalidate(
+    config: ClusterConfig,
+    input_path: str,
+    name: str = "teravalidate",
+) -> JobSpec:
+    """Read-mostly scan checking sort order; negligible output."""
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        n_reduces=0,
+        output_bytes=0,
+        map_cpu_s_per_mb=0.002,
+    )

@@ -1,0 +1,34 @@
+"""Synthetic I/O workloads: the profiling ramp and simple stressors.
+
+``io_ramp_job`` builds the "synthetic MapReduce workload with increasing
+I/O concurrency" the paper uses to pick the SFQ(D2) reference latency
+(§4) — in this reproduction the actual profiling is simulated directly
+against the device model by :mod:`repro.core.profiling`; the job spec
+here lets the same ramp be driven through the full MapReduce stack.
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, GB
+from repro.mapreduce import JobSpec
+
+__all__ = ["io_ramp_job"]
+
+
+def io_ramp_job(
+    config: ClusterConfig,
+    input_path: str,
+    n_maps: int,
+    name: str = "io-ramp",
+) -> JobSpec:
+    """A map-only scan with ``n_maps`` concurrent streams and no compute:
+    each wave raises the storage concurrency by one task per node."""
+    if n_maps <= 0:
+        raise ValueError("n_maps must be positive")
+    return JobSpec(
+        name=name,
+        input_path=input_path,
+        n_maps=n_maps,
+        n_reduces=0,
+        map_cpu_s_per_mb=0.0,
+    )

@@ -1,0 +1,63 @@
+"""Weighted fair-share computation (Hadoop Fair Scheduler semantics).
+
+Given application weights, per-application caps and demands, compute
+each application's core entitlement by weighted water-filling: capacity
+is divided in proportion to weights, and capacity an application cannot
+use (cap or demand below its proportional share) is redistributed among
+the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["fair_shares"]
+
+
+def fair_shares(
+    capacity: float,
+    weights: Mapping[str, float],
+    caps: Mapping[str, float] | None = None,
+    demands: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Weighted max-min fair allocation of ``capacity``.
+
+    ``caps`` and ``demands`` both upper-bound an app's share; missing
+    entries mean unbounded.  The returned shares sum to at most
+    ``capacity`` (less only if total demand is below capacity).
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    for app, w in weights.items():
+        if w <= 0:
+            raise ValueError(f"weight of {app!r} must be positive")
+    caps = caps or {}
+    demands = demands or {}
+
+    def limit(app: str) -> float:
+        lim = min(caps.get(app, float("inf")), demands.get(app, float("inf")))
+        if lim < 0:
+            raise ValueError(f"negative cap/demand for {app!r}")
+        return lim
+
+    shares = {app: 0.0 for app in weights}
+    active = {app for app in weights if limit(app) > 0}
+    remaining = float(capacity)
+    # Water-fill: give every active app its weighted slice; freeze the
+    # ones that hit their limit and redistribute until stable.
+    while active and remaining > 1e-12:
+        total_w = sum(weights[a] for a in active)
+        saturated = set()
+        for app in list(active):
+            slice_ = remaining * weights[app] / total_w
+            room = limit(app) - shares[app]
+            if slice_ >= room - 1e-12:
+                shares[app] += room
+                saturated.add(app)
+        if not saturated:
+            for app in active:
+                shares[app] += remaining * weights[app] / total_w
+            break
+        remaining = capacity - sum(shares.values())
+        active -= saturated
+    return shares

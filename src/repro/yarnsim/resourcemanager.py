@@ -1,0 +1,173 @@
+"""The Resource Manager: container allocation with fair sharing.
+
+Application Masters request containers (vcores + memory + locality
+preference); the RM grants them subject to per-node capacity and the
+Fair Scheduler's entitlements.  Grants go to the most-starved eligible
+application first (lowest used-cores/weight), which converges to the
+weighted fair shares as containers churn — the practical effect of the
+Fair Scheduler with preemption for the short tasks of this workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.simcore import Event, SimulationError, Simulator
+
+__all__ = ["AppHandle", "ContainerGrant", "ResourceManager"]
+
+
+@dataclass
+class AppHandle:
+    """RM-side state of a registered application."""
+
+    app_id: str
+    weight: float = 1.0
+    max_cores: Optional[int] = None  # hard CPU cap (the paper pins these)
+    cores_used: int = 0
+    mem_used: int = 0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("app weight must be positive")
+        if self.max_cores is not None and self.max_cores <= 0:
+            raise ValueError("max_cores must be positive when set")
+
+
+@dataclass(frozen=True)
+class ContainerGrant:
+    """The value delivered by a granted container request."""
+
+    node_id: str
+    vcores: int
+    memory: int
+
+
+@dataclass
+class _Pending:
+    app: AppHandle
+    vcores: int
+    memory: int
+    preferred: tuple[str, ...]
+    event: Event
+    seq: int
+
+
+class ResourceManager:
+    def __init__(
+        self,
+        sim: Simulator,
+        node_ids: Sequence[str],
+        cores_per_node: int,
+        memory_per_node: int,
+    ):
+        if not node_ids:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.node_ids = list(node_ids)
+        self.cores_free = {n: int(cores_per_node) for n in node_ids}
+        self.mem_free = {n: int(memory_per_node) for n in node_ids}
+        self.cores_per_node = int(cores_per_node)
+        self.memory_per_node = int(memory_per_node)
+        self.apps: dict[str, AppHandle] = {}
+        self._pending: list[_Pending] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ api
+    def register_app(
+        self, app_id: str, weight: float = 1.0, max_cores: Optional[int] = None
+    ) -> AppHandle:
+        if app_id in self.apps:
+            raise ValueError(f"app {app_id!r} already registered")
+        app = AppHandle(app_id, weight=weight, max_cores=max_cores)
+        self.apps[app_id] = app
+        return app
+
+    def unregister_app(self, app_id: str) -> None:
+        app = self.apps.pop(app_id, None)
+        if app is not None and app.cores_used:
+            raise SimulationError(
+                f"app {app_id!r} unregistered with {app.cores_used} cores in use"
+            )
+        self._pending = [p for p in self._pending if p.app.app_id != app_id]
+        self._allocate()
+
+    def request_container(
+        self,
+        app_id: str,
+        vcores: int,
+        memory: int,
+        preferred: Sequence[str] = (),
+    ) -> Event:
+        """Returns an event succeeding with a :class:`ContainerGrant`."""
+        app = self.apps[app_id]
+        if vcores <= 0 or vcores > self.cores_per_node:
+            raise ValueError(f"vcores {vcores} outside (0, {self.cores_per_node}]")
+        if memory <= 0 or memory > self.memory_per_node:
+            raise ValueError("memory outside node capacity")
+        ev = Event(self.sim, name=f"container:{app_id}")
+        self._seq += 1
+        self._pending.append(
+            _Pending(app, vcores, memory, tuple(preferred), ev, self._seq)
+        )
+        self._allocate()
+        return ev
+
+    def release_container(self, app_id: str, grant: ContainerGrant) -> None:
+        app = self.apps[app_id]
+        app.cores_used -= grant.vcores
+        app.mem_used -= grant.memory
+        if app.cores_used < 0 or app.mem_used < 0:
+            raise SimulationError(f"container over-release by {app_id!r}")
+        self.cores_free[grant.node_id] += grant.vcores
+        self.mem_free[grant.node_id] += grant.memory
+        self._allocate()
+
+    @property
+    def total_cores_free(self) -> int:
+        return sum(self.cores_free.values())
+
+    # -------------------------------------------------------------- internals
+    def _eligible(self, p: _Pending) -> bool:
+        app = p.app
+        if app.max_cores is not None and app.cores_used + p.vcores > app.max_cores:
+            return False
+        return True
+
+    def _find_node(self, p: _Pending) -> Optional[str]:
+        for n in p.preferred:
+            if self.cores_free.get(n, 0) >= p.vcores and self.mem_free.get(n, 0) >= p.memory:
+                return n
+        best, best_free = None, -1
+        for n in self.node_ids:
+            if self.cores_free[n] >= p.vcores and self.mem_free[n] >= p.memory:
+                if self.cores_free[n] > best_free:
+                    best, best_free = n, self.cores_free[n]
+        return best
+
+    def _allocate(self) -> None:
+        """Grant as much as possible, most-starved application first."""
+        while True:
+            candidates = [p for p in self._pending if self._eligible(p)]
+            if not candidates:
+                return
+            # Most-starved app first; FIFO within an app (by seq).
+            candidates.sort(
+                key=lambda p: (p.app.cores_used / p.app.weight, p.seq)
+            )
+            granted = False
+            for p in candidates:
+                node = self._find_node(p)
+                if node is None:
+                    continue
+                self._pending.remove(p)
+                self.cores_free[node] -= p.vcores
+                self.mem_free[node] -= p.memory
+                p.app.cores_used += p.vcores
+                p.app.mem_used += p.memory
+                p.event.succeed(ContainerGrant(node, p.vcores, p.memory))
+                granted = True
+                break
+            if not granted:
+                return

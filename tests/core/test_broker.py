@@ -1,0 +1,173 @@
+"""Unit tests for the Scheduling Broker and DSFQ coordination."""
+
+import pytest
+
+from repro.config import MB, StorageProfile
+from repro.core import (
+    BrokerClient,
+    IOClass,
+    IORequest,
+    IOTag,
+    SchedulingBroker,
+    SFQDScheduler,
+)
+from repro.simcore import Simulator
+from repro.storage import StorageDevice
+
+FLAT = StorageProfile(name="flat", peak_rate=100.0 * MB, n_half=0.0)
+
+
+def submit(sim, sched, app, weight, nbytes=1 * MB):
+    req = IORequest(sim, IOTag(app, weight), "read", nbytes, IOClass.PERSISTENT)
+    sched.submit(req)
+    return req
+
+
+def test_broker_aggregates_totals_across_clients():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"app1": 100.0, "app2": 50.0})
+    broker.report("n2", {"app1": 40.0})
+    totals = broker.report("n1", {"app1": 100.0, "app2": 50.0})
+    assert totals == {"app1": 140.0, "app2": 50.0}
+
+
+def test_broker_incremental_updates():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 10.0})
+    broker.report("n1", {"a": 25.0})  # cumulative, so +15
+    assert broker.totals["a"] == 25.0
+
+
+def test_broker_rejects_backwards_reports():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 10.0})
+    with pytest.raises(ValueError):
+        broker.report("n1", {"a": 5.0})
+
+
+def test_broker_reply_scoped_to_reported_apps():
+    """The reply is bounded by the apps the scheduler serves (§5)."""
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 10.0, "b": 10.0})
+    reply = broker.report("n2", {"a": 3.0})
+    assert set(reply) == {"a"}
+
+
+def test_broker_message_accounting():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 1.0})
+    broker.report("n2", {"a": 1.0, "b": 2.0})
+    assert broker.messages == 2
+    assert broker.message_bytes > 0
+
+
+def test_client_sync_applies_foreign_service_as_delay():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1")
+
+    # Local node serviced 2 MB for app "x"; another node reports 10 MB.
+    submit(sim, sched, "x", 1.0, nbytes=2 * MB)
+    sim.run()
+    broker.report("n2", {"x": 10.0 * MB})
+    client.sync()
+    # Next request of x should be delayed by 10 MB of virtual time.
+    assert sched._pending_delay["x"] == pytest.approx(10.0)
+
+
+def test_client_sync_weight_scales_delay():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1")
+    submit(sim, sched, "x", 4.0, nbytes=2 * MB)
+    sim.run()
+    broker.report("n2", {"x": 8.0 * MB})
+    client.sync()
+    assert sched._pending_delay["x"] == pytest.approx(2.0)  # 8 MB / weight 4
+
+
+def test_client_sync_only_counts_growth_once():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1")
+    submit(sim, sched, "x", 1.0, nbytes=1 * MB)
+    sim.run()
+    broker.report("n2", {"x": 5.0 * MB})
+    client.sync()
+    client.sync()  # no new foreign growth -> no extra delay
+    assert sched._pending_delay["x"] == pytest.approx(5.0)
+
+
+def test_client_sync_noop_without_local_service():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1")
+    client.sync()
+    assert broker.messages == 0
+
+
+def test_client_period_validation():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    with pytest.raises(ValueError):
+        BrokerClient(sim, broker, sched, client_id="n1", period=0.0)
+
+
+def _run_two_node_scenario(coordinated: bool) -> tuple[float, float]:
+    """Two nodes, equal weights.  App 'solo' runs only on node 0; app
+    'wide' runs on both.  Tasks issue I/O closed-loop (the next request
+    is tagged when the previous completes), as MapReduce tasks do."""
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    devs = [StorageDevice(sim, FLAT, name=f"d{i}") for i in range(2)]
+    scheds = [SFQDScheduler(sim, d, depth=1) for d in devs]
+    if coordinated:
+        for i, s in enumerate(scheds):
+            BrokerClient(sim, broker, s, client_id=f"n{i}", period=0.05)
+
+    def task(sched, app):
+        def proc():
+            while True:
+                req = IORequest(sim, IOTag(app, 1.0), "read", 1 * MB)
+                yield sched.submit(req)
+
+        return proc
+
+    # Two closed-loop streams per app per node keep everything backlogged.
+    for _ in range(2):
+        sim.process(task(scheds[0], "solo")())
+        sim.process(task(scheds[0], "wide")())
+        sim.process(task(scheds[1], "wide")())
+    sim.run(until=3.0)
+    total_solo = sum(s.stats.service_by_app.get("solo", 0.0) for s in scheds)
+    total_wide = sum(s.stats.service_by_app.get("wide", 0.0) for s in scheds)
+    return total_solo, total_wide
+
+
+def test_coordination_rebalances_total_service():
+    """The §5 objective: with DSFQ coordination the two equal-weight apps
+    approach a 1:1 split of *total* service even though 'wide' runs on
+    twice the nodes; without it, wide collects ~3x."""
+    solo_sync, wide_sync = _run_two_node_scenario(coordinated=True)
+    assert wide_sync / solo_sync < 1.5
+
+    solo_nosync, wide_nosync = _run_two_node_scenario(coordinated=False)
+    assert wide_nosync / solo_nosync > 2.0
+
+    # Coordination must strictly improve the total-service balance.
+    assert wide_sync / solo_sync < wide_nosync / solo_nosync

@@ -1,0 +1,62 @@
+"""Unit tests for the reference-latency profiling procedure (§4)."""
+
+import pytest
+
+from repro.config import HDD_PROFILE, MB, SSD_PROFILE, default_cluster
+from repro.core.profiling import (
+    ProfilePoint,
+    calibrate_controller,
+    profile_device,
+    reference_latency,
+)
+
+
+def test_profile_points_monotone_throughput_and_latency():
+    points = profile_device(HDD_PROFILE, "read", chunk=4 * MB, max_concurrency=8,
+                            duration=5.0)
+    assert len(points) == 8
+    thr = [p.throughput for p in points]
+    lat = [p.latency for p in points]
+    # Throughput grows (to saturation) and latency grows with concurrency.
+    assert thr[-1] > thr[0]
+    assert lat[-1] > lat[0]
+    assert all(p.concurrency == i + 1 for i, p in enumerate(points))
+
+
+def test_profile_rejects_bad_op():
+    with pytest.raises(ValueError):
+        profile_device(HDD_PROFILE, "erase", chunk=1 * MB)
+
+
+def test_reference_latency_picks_knee():
+    points = [
+        ProfilePoint(1, 0.010, 50.0),
+        ProfilePoint(2, 0.020, 80.0),
+        ProfilePoint(3, 0.030, 95.0),
+        ProfilePoint(4, 0.040, 100.0),
+    ]
+    # 0.9 * 100 = 90 -> first point at or above is n=3.
+    assert reference_latency(points, 0.9) == 0.030
+    assert reference_latency(points, 0.5) == 0.010
+
+
+def test_reference_latency_validation():
+    with pytest.raises(ValueError):
+        reference_latency([], 0.9)
+    with pytest.raises(ValueError):
+        reference_latency([ProfilePoint(1, 1.0, 1.0)], 0.0)
+
+
+def test_calibrate_controller_hdd_is_symmetricish():
+    cfg = default_cluster()
+    ctrl = calibrate_controller(cfg)
+    # HDD: identical read/write service -> identical references.
+    assert ctrl.ref_latency_read == pytest.approx(ctrl.ref_latency_write)
+    assert ctrl.ref_latency_read > 0
+
+
+def test_calibrate_controller_ssd_asymmetric():
+    cfg = default_cluster(storage=SSD_PROFILE)
+    ctrl = calibrate_controller(cfg)
+    # Writes cost 3x on flash: the write reference must be clearly higher.
+    assert ctrl.ref_latency_write > 1.5 * ctrl.ref_latency_read

@@ -1,0 +1,46 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.run import EXPERIMENTS, main
+
+
+def test_every_artifact_has_an_entry():
+    assert set(EXPERIMENTS) == {
+        "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "tab2", "tab3",
+    }
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out and "tab3" in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig2" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_runs_tab3(capsys):
+    assert main(["tab3"]) == 0
+    out = capsys.readouterr().out
+    assert "== tab3_loc ==" in out
+    assert "regenerated" in out
+
+
+def test_runs_fig13_at_tiny_scale(capsys):
+    assert main(["fig13", "--scale", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "== fig13_overhead ==" in out
+
+
+def test_ssd_flag(capsys):
+    assert main(["fig13", "--scale", "512", "--storage", "ssd"]) == 0
+    assert "fig13_overhead" in capsys.readouterr().out

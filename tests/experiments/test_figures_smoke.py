@@ -1,0 +1,70 @@
+"""Fast smoke tests for the experiment functions at a reduced scale.
+
+The full-shape assertions live in ``benchmarks/``; here we verify each
+experiment runs end-to-end and produces the expected row/series schema,
+at 1/256 scale so the whole module stays quick.
+"""
+
+import pytest
+
+from repro.config import default_cluster
+from repro.experiments import (
+    fig2_io_profiles,
+    fig3_contention,
+    fig6_isolation_hdd,
+    fig9_facebook,
+    fig13_overhead,
+    tab3_loc,
+)
+
+TINY = default_cluster(scale=1 / 256)
+
+
+def test_fig2_schema():
+    r = fig2_io_profiles(TINY)
+    assert {row["app"] for row in r.rows} == {"terasort", "wordcount"}
+    for key in ("terasort:read", "terasort:write", "wordcount:read",
+                "wordcount:write"):
+        times, values = r.series[key]
+        assert len(times) == len(values) > 0
+
+
+def test_fig3_schema():
+    r = fig3_contention(TINY)
+    cases = {row["case"] for row in r.rows}
+    assert cases == {"wc_alone", "wc+teravalidate", "wc+teragen", "wc+terasort"}
+    assert r.find(case="wc_alone")["slowdown"] == 0.0
+
+
+def test_fig6_schema():
+    r = fig6_isolation_hdd(TINY)
+    cases = [row["case"] for row in r.rows]
+    assert cases[0] == "wc_alone"
+    assert "sfq(d2)" in cases
+    for row in r.rows[1:]:
+        assert row["throughput_mbs"] > 0
+
+
+def test_fig9_small_trace():
+    r = fig9_facebook(TINY, n_jobs=6)
+    assert {row["case"] for row in r.rows} == {"standalone", "interfered",
+                                               "sfq(d2)"}
+    for label in ("standalone", "interfered", "sfq(d2)"):
+        xs, ys = r.series[label]
+        assert len(xs) == 6
+        assert ys[-1] == pytest.approx(1.0)
+        assert xs == sorted(xs)
+
+
+def test_fig13_schema():
+    r = fig13_overhead(TINY)
+    assert {row["app"] for row in r.rows} == {"wordcount", "teragen",
+                                              "terasort"}
+    for row in r.rows:
+        assert row["native"] > 0 and row["ibis"] > 0
+
+
+def test_tab3_counts_real_files():
+    r = tab3_loc()
+    total = r.find(component="total")["loc"]
+    assert total > 300

@@ -1,0 +1,52 @@
+"""Tests for the experiment harness and report formatting."""
+
+import pytest
+
+from repro.config import default_cluster
+from repro.experiments import ExperimentResult, controller_for, format_result
+from repro.experiments.harness import total_throughput_mbs
+from repro.experiments.report import format_rows
+
+
+def test_result_rows_and_find():
+    r = ExperimentResult("t")
+    r.row(case="a", value=1)
+    r.row(case="b", value=2)
+    assert r.find(case="b")["value"] == 2
+    with pytest.raises(KeyError):
+        r.find(case="zzz")
+
+
+def test_controller_cache_reuses_calibration():
+    cfg = default_cluster()
+    assert controller_for(cfg) is controller_for(cfg)
+    other = controller_for(cfg, gain=99.0)
+    assert other is not controller_for(cfg)
+    assert other.gain == 99.0
+
+
+def test_format_rows_aligns_mixed_columns():
+    text = format_rows([{"a": 1, "b": 2.5}, {"a": 10, "c": None}])
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "b", "c"]
+    assert "10" in lines[3] if len(lines) > 3 else True
+    assert format_rows([]) == "(no rows)"
+
+
+def test_format_result_includes_series_and_notes():
+    r = ExperimentResult("t")
+    r.row(x=1)
+    r.series["s"] = ([0.0, 1.0], [5.0, 7.0])
+    r.notes.append("hello")
+    text = format_result(r)
+    assert "== t ==" in text
+    assert "series s: 2 points" in text
+    assert "note: hello" in text
+
+
+def test_total_throughput_requires_positive_window():
+    from repro import BigDataCluster, PolicySpec
+
+    cl = BigDataCluster(default_cluster(), PolicySpec.native())
+    with pytest.raises(ValueError):
+        total_throughput_mbs(cl, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the Hive engine and the TPC-H query models."""
+
+import pytest
+
+from repro.cluster import BigDataCluster
+from repro.config import GB, default_cluster
+from repro.core import PolicySpec
+from repro.hive import HiveQuery, run_query, tpch_q9, tpch_q21
+from repro.mapreduce import JobSpec
+
+
+def test_query_validation():
+    with pytest.raises(ValueError):
+        HiveQuery(name="q", stages=(), table_paths=(), table_bytes=())
+    with pytest.raises(ValueError):
+        HiveQuery(
+            name="q",
+            stages=(JobSpec(name="s", n_maps=1),),
+            table_paths=("/t",),
+            table_bytes=(),
+        )
+
+
+def test_tpch_specs_match_paper_totals():
+    cfg = default_cluster()
+    q9 = tpch_q9(cfg)
+    q21 = tpch_q21(cfg)
+    assert q9.table_bytes == (53 * GB,)
+    assert q21.table_bytes == (45 * GB,)
+    # Q9's declared intermediate volume dominates Q21's (120 vs 40 GB):
+    shuffle9 = sum(s.shuffle_bytes for s in q9.stages)
+    shuffle21 = sum(s.shuffle_bytes for s in q21.stages)
+    assert shuffle9 > 2.0 * shuffle21
+    # Up to 15 sequential jobs per query (paper): ours are within that.
+    assert 1 < len(q9.stages) <= 15
+    assert 1 < len(q21.stages) <= 15
+
+
+def test_query_stages_run_sequentially():
+    cfg = default_cluster()
+    cl = BigDataCluster(cfg, PolicySpec.native())
+    q = tpch_q21(cfg)
+    cl.preload_input(q.table_paths[0], q.table_bytes[0])
+    run = run_query(cl, q, max_cores=96)
+    cl.run(run.done)
+    assert run.runtime > 0
+    assert len(run.stage_jobs) == len(q.stages)
+    for earlier, later in zip(run.stage_jobs, run.stage_jobs[1:]):
+        assert later.submit_time >= earlier.finish_time
+
+
+def test_stage_inputs_materialised_from_producers():
+    cfg = default_cluster()
+    cl = BigDataCluster(cfg, PolicySpec.native())
+    q = tpch_q9(cfg)
+    cl.preload_input(q.table_paths[0], q.table_bytes[0])
+    run = run_query(cl, q, max_cores=96)
+    cl.run(run.done)
+    # Every intermediate stage input exists in the namespace afterwards.
+    for stage in q.stages[1:]:
+        assert cl.namenode.exists(stage.input_path)
+
+
+def test_missing_producer_rejected():
+    cfg = default_cluster()
+    cl = BigDataCluster(cfg, PolicySpec.native())
+    bad = HiveQuery(
+        name="bad",
+        stages=(
+            JobSpec(name="s0", input_path="/tmp/unknown", n_reduces=0),
+        ),
+        table_paths=("/t",),
+        table_bytes=(1 * GB,),
+    )
+    run = run_query(cl, bad)
+    with pytest.raises(ValueError, match="no producer"):
+        cl.sim.run(until=run.done)
+
+
+def test_delayed_query_submission():
+    cfg = default_cluster()
+    cl = BigDataCluster(cfg, PolicySpec.native())
+    q = tpch_q21(cfg)
+    cl.preload_input(q.table_paths[0], q.table_bytes[0])
+    run = run_query(cl, q, max_cores=96, delay=4.0)
+    cl.run(run.done)
+    assert run.submit_time == 4.0
+
+
+def test_query_runtime_before_finish_raises():
+    cfg = default_cluster()
+    cl = BigDataCluster(cfg, PolicySpec.native())
+    q = tpch_q21(cfg)
+    cl.preload_input(q.table_paths[0], q.table_bytes[0])
+    run = run_query(cl, q, max_cores=96)
+    with pytest.raises(RuntimeError):
+        _ = run.runtime

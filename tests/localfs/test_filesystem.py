@@ -1,0 +1,69 @@
+"""Unit tests for intermediate-data I/O via LocalFS."""
+
+import pytest
+
+from repro.config import MB, default_cluster
+from repro.core import DataNodeIO, IOClass, IOTag, PolicySpec
+from repro.localfs import LocalFS
+from repro.simcore import Simulator
+
+
+def make_lfs():
+    sim = Simulator()
+    node = DataNodeIO(sim, "n0", default_cluster(), PolicySpec.native())
+    return sim, node, LocalFS(sim, node, chunk=4 * MB)
+
+
+def test_write_goes_to_tmp_device_intermediate_class():
+    sim, node, lfs = make_lfs()
+    seen = []
+    node.schedulers[IOClass.INTERMEDIATE].add_submit_hook(
+        lambda r: seen.append((r.op, r.io_class))
+    )
+
+    def proc():
+        got = yield from lfs.write(10 * MB, IOTag("app"))
+        return got
+
+    assert sim.run(until=sim.process(proc())) == 10 * MB
+    assert node.tmp_device.write_meter.total == 10 * MB
+    assert node.hdfs_device.write_meter.total == 0
+    assert all(op == "write" and c is IOClass.INTERMEDIATE for op, c in seen)
+
+
+def test_read_intermediate():
+    sim, node, lfs = make_lfs()
+
+    def proc():
+        got = yield from lfs.read(6 * MB, IOTag("app"))
+        return got
+
+    assert sim.run(until=sim.process(proc())) == 6 * MB
+    assert node.tmp_device.read_meter.total == 6 * MB
+
+
+def test_servlet_read_uses_network_class():
+    sim, node, lfs = make_lfs()
+    seen = []
+    node.schedulers[IOClass.NETWORK].add_submit_hook(
+        lambda r: seen.append(r.io_class)
+    )
+
+    def proc():
+        yield from lfs.servlet_read(4 * MB, IOTag("app"))
+
+    sim.run(until=sim.process(proc()))
+    assert seen == [IOClass.NETWORK]
+    # Served by the same physical tmp disk.
+    assert node.tmp_device.read_meter.total == 4 * MB
+
+
+def test_zero_bytes_rejected():
+    sim, node, lfs = make_lfs()
+
+    def proc():
+        yield from lfs.write(0, IOTag("app"))
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()

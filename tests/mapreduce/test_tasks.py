@@ -1,0 +1,143 @@
+"""Integration tests for map/reduce tasks and the AppMaster on a small
+real cluster."""
+
+import pytest
+
+from repro.cluster import BigDataCluster
+from repro.config import GB, MB, default_cluster
+from repro.core import IOClass, PolicySpec
+from repro.mapreduce import JobSpec
+
+
+def make_cluster(policy=None):
+    return BigDataCluster(default_cluster(), policy or PolicySpec.native())
+
+
+def test_map_only_reader_job():
+    cl = make_cluster()
+    cl.preload_input("/in/data", 8 * GB)  # scaled to 128 MB = 8 blocks
+    job = cl.submit(JobSpec(name="scan", input_path="/in/data", n_reduces=0),
+                    max_cores=96)
+    cl.run()
+    assert job.finish_time is not None
+    assert job.n_maps_total == 8
+    assert job.maps_completed == 8
+    # All input bytes were read from the HDFS devices.
+    total_read = sum(n.hdfs_device.read_meter.total for n in cl.nodes.values())
+    assert total_read == 128 * MB
+
+
+def test_generator_writer_job_replicates():
+    cl = make_cluster()
+    out = 64 * GB  # scaled: 1 GB
+    job = cl.submit(JobSpec(name="gen", n_maps=4, n_reduces=0,
+                            output_bytes=cl.config.scaled(out)), max_cores=96)
+    cl.run()
+    written = sum(n.hdfs_device.write_meter.total for n in cl.nodes.values())
+    # 3-way replication writes every byte three times.
+    expected = (cl.config.scaled(out) // 4) * 4 * 3
+    assert written == pytest.approx(expected, rel=0.01)
+
+
+def test_full_mapreduce_pipeline_volumes():
+    cl = make_cluster()
+    cl.preload_input("/in/data", 16 * GB)  # scaled 256 MB = 16 maps
+    scaled = cl.config.scaled(16 * GB)
+    spec = JobSpec(
+        name="mr",
+        input_path="/in/data",
+        shuffle_bytes=scaled // 2,
+        output_bytes=scaled // 4,
+        n_reduces=4,
+        map_spill_factor=1.0,
+        reduce_merge_factor=1.0,
+    )
+    job = cl.submit(spec, max_cores=96)
+    cl.run()
+    assert job.reduces_completed == 4
+    assert job.maps_done_time <= job.finish_time
+
+    # Intermediate traffic: maps spill their output once; reducers spill
+    # the fetched bytes once and merge-read them once.
+    tmp_write = sum(n.tmp_device.write_meter.total for n in cl.nodes.values())
+    tmp_read = sum(n.tmp_device.read_meter.total for n in cl.nodes.values())
+    map_out_total = (spec.shuffle_bytes // 16) * 16
+    fetched = 4 * ((spec.shuffle_bytes // 16) // 4) * 16
+    assert tmp_write == pytest.approx(map_out_total + fetched, rel=0.05)
+    assert tmp_read >= fetched * 0.9  # servlet reads + merge reads overlap counts
+
+    # Final output replicated 3x on HDFS.
+    hdfs_write = sum(n.hdfs_device.write_meter.total for n in cl.nodes.values())
+    assert hdfs_write == pytest.approx((spec.output_bytes // 4) * 4 * 3, rel=0.05)
+
+
+def test_reduce_phase_waits_for_all_maps():
+    cl = make_cluster()
+    cl.preload_input("/in/data", 8 * GB)
+    scaled = cl.config.scaled(8 * GB)
+    spec = JobSpec(name="mr", input_path="/in/data",
+                   shuffle_bytes=scaled, output_bytes=1 * MB, n_reduces=2)
+    job = cl.submit(spec, max_cores=96)
+    cl.run()
+    assert job.finish_time >= job.maps_done_time
+
+
+def test_locality_preference_mostly_local_reads():
+    """With even data spread and free cores everywhere, most map input
+    should be read node-locally (no network)."""
+    cl = make_cluster()
+    cl.preload_input("/in/data", 64 * GB)  # 64 blocks over 8 nodes
+    job = cl.submit(JobSpec(name="scan", input_path="/in/data", n_reduces=0),
+                    max_cores=96)
+    cl.run()
+    total_input = cl.config.scaled(64 * GB)
+    remote = cl.net.total_bytes
+    assert remote < 0.4 * total_input
+
+
+def test_cpu_cost_extends_runtime():
+    cl1 = make_cluster()
+    cl1.preload_input("/in/a", 8 * GB)
+    fast = cl1.submit(JobSpec(name="fast", input_path="/in/a", n_reduces=0,
+                              map_cpu_s_per_mb=0.0), max_cores=96)
+    cl1.run()
+    cl2 = make_cluster()
+    cl2.preload_input("/in/a", 8 * GB)
+    slow = cl2.submit(JobSpec(name="slow", input_path="/in/a", n_reduces=0,
+                              map_cpu_s_per_mb=0.5), max_cores=96)
+    cl2.run()
+    assert slow.runtime > fast.runtime + 3.0
+
+
+def test_containers_respect_max_cores():
+    """A job capped at 12 cores runs its maps in waves."""
+    cl = make_cluster()
+    cl.preload_input("/in/data", 48 * GB)  # 48 maps
+    job = cl.submit(JobSpec(name="scan", input_path="/in/data", n_reduces=0,
+                            map_cpu_s_per_mb=0.05), max_cores=12)
+    cl.run()
+    # Peak concurrent cores never exceeded the cap.
+    assert cl.rm.apps == {}  # unregistered after finish
+    assert job.finish_time is not None
+
+
+def test_two_jobs_share_cluster():
+    cl = make_cluster()
+    cl.preload_input("/in/a", 16 * GB)
+    cl.preload_input("/in/b", 16 * GB)
+    j1 = cl.submit(JobSpec(name="a", input_path="/in/a", n_reduces=0),
+                   max_cores=48)
+    j2 = cl.submit(JobSpec(name="b", input_path="/in/b", n_reduces=0),
+                   max_cores=48)
+    cl.run()
+    assert j1.finish_time is not None and j2.finish_time is not None
+
+
+def test_delayed_submission():
+    cl = make_cluster()
+    cl.preload_input("/in/a", 8 * GB)
+    job = cl.submit(JobSpec(name="late", input_path="/in/a", n_reduces=0),
+                    max_cores=96, delay=5.0)
+    cl.run()
+    assert job.submit_time == 5.0
+    assert job.finish_time > 5.0

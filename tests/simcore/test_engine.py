@@ -1,0 +1,319 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simcore import Event, Interrupt, SimulationError, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 5.0
+    assert sim.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run(until=sim.process(proc())) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(waiter(3, "c"))
+    sim.process(waiter(1, "a"))
+    sim.process(waiter(2, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_tiebreak_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def waiter(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        sim.process(waiter(tag))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run(until=sim.process(parent())) == 43
+
+
+def test_process_failure_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run(until=sim.process(parent())) == "boom"
+
+
+def test_unjoined_process_failure_raises_at_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled model bug")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled model bug"):
+        sim.run()
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(3.0)
+        target.interrupt(cause="preempted")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [("interrupted", 3.0, "preempted")]
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(5.0)
+        return sim.now
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt()
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    assert sim.run(until=target) == 7.0
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_stale_target_does_not_resume_after_interrupt():
+    """After an interrupt, the original timeout firing must not re-wake."""
+    sim = Simulator()
+    wakes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+            wakes.append("timeout")
+        except Interrupt:
+            wakes.append("interrupt")
+        yield sim.timeout(50.0)  # still waiting when the stale timeout fires
+        wakes.append("second")
+
+    def interrupter(target):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert wakes == ["interrupt", "second"]
+    assert sim.now == 51.0
+
+
+def test_run_until_time_stops_clock_at_horizon():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_event_on_dry_queue_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_call_at_and_call_in():
+    sim = Simulator()
+    hits = []
+    sim.call_at(4.0, lambda: hits.append(("at", sim.now)))
+    sim.call_in(2.0, lambda: hits.append(("in", sim.now)))
+    sim.run()
+    assert hits == [("in", 2.0), ("at", 4.0)]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        sim.call_at(1.0, lambda: None)
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        events = [sim.timeout(1.0, "a"), sim.timeout(3.0, "b")]
+        values = yield sim.all_of(events)
+        return sim.now, sorted(values)
+
+    assert sim.run(until=sim.process(proc())) == (3.0, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    sim = Simulator()
+
+    def proc():
+        events = [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")]
+        values = yield sim.any_of(events)
+        return sim.now, values
+
+    t, values = sim.run(until=sim.process(proc()))
+    assert t == 1.0
+    assert values == ["fast"]
+
+
+def test_all_of_empty_is_immediate():
+    sim = Simulator()
+
+    def proc():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run(until=sim.process(proc())) == []
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf():
+        yield sim.timeout(1.0)
+        return 1
+
+    def middle():
+        v = yield sim.process(leaf())
+        yield sim.timeout(1.0)
+        return v + 1
+
+    def root():
+        v = yield sim.process(middle())
+        return v + 1
+
+    assert sim.run(until=sim.process(root())) == 3
+    assert sim.now == 2.0
+
+
+def test_immediately_returning_process():
+    sim = Simulator()
+
+    def instant():
+        return 99
+        yield  # pragma: no cover - makes it a generator
+
+    assert sim.run(until=sim.process(instant())) == 99
+    assert sim.now == 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for instrumentation primitives."""
+
+import pytest
+
+from repro.simcore import Counter, RateMeter, TimeSeries
+from repro.simcore.instrument import percentile_of
+
+
+def test_timeseries_records_and_iterates():
+    ts = TimeSeries("t")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+    assert len(ts) == 2
+
+
+def test_timeseries_rejects_time_going_backwards():
+    ts = TimeSeries("t")
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 2.0)
+
+
+def test_timeseries_value_at_step_semantics():
+    ts = TimeSeries("t")
+    ts.record(0.0, 10.0)
+    ts.record(10.0, 20.0)
+    assert ts.value_at(0.0) == 10.0
+    assert ts.value_at(9.999) == 10.0
+    assert ts.value_at(10.0) == 20.0
+    assert ts.value_at(100.0) == 20.0
+
+
+def test_timeseries_value_at_before_first_sample():
+    ts = TimeSeries("t")
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.value_at(4.0)
+
+
+def test_timeseries_window_mean():
+    ts = TimeSeries("t")
+    for t, v in [(0, 1), (1, 3), (2, 5), (3, 100)]:
+        ts.record(float(t), float(v))
+    assert ts.window_mean(0.0, 3.0) == pytest.approx(3.0)
+    assert ts.window_mean(10.0, 20.0) == 0.0
+
+
+def test_timeseries_mean_empty_is_zero():
+    assert TimeSeries("t").mean() == 0.0
+
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter("c")
+    c.add(3)
+    c.add(4)
+    assert c.total == 7
+    with pytest.raises(ValueError):
+        c.add(-1)
+
+
+def test_ratemeter_bucketed_rates():
+    m = RateMeter("m")
+    m.add(0.5, 100.0)
+    m.add(1.5, 200.0)
+    m.add(1.9, 100.0)
+    series = m.rate_series(bucket=1.0, t_end=3.0)
+    assert series.values == [100.0, 300.0, 0.0]
+    assert series.times == [0.0, 1.0, 2.0]
+
+
+def test_ratemeter_window_total_and_mean_rate():
+    m = RateMeter("m")
+    m.add(1.0, 10.0)
+    m.add(2.0, 20.0)
+    m.add(3.0, 30.0)
+    assert m.window_total(1.0, 3.0) == 30.0
+    assert m.mean_rate(t_end=6.0) == pytest.approx(10.0)
+
+
+def test_ratemeter_rejects_negative_and_backwards():
+    m = RateMeter("m")
+    m.add(1.0, 10.0)
+    with pytest.raises(ValueError):
+        m.add(0.5, 10.0)
+    with pytest.raises(ValueError):
+        m.add(2.0, -1.0)
+
+
+def test_ratemeter_empty_rates():
+    m = RateMeter("m")
+    assert m.mean_rate() == 0.0
+    assert len(m.rate_series(1.0, t_end=2.0)) == 2
+
+
+def test_percentile_of():
+    assert percentile_of([1, 2, 3, 4, 5], 50) == 3
+    with pytest.raises(ValueError):
+        percentile_of([], 50)

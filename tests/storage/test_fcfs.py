@@ -1,0 +1,130 @@
+"""Tests for the FCFS service discipline (the disk model)."""
+
+import pytest
+
+from repro.config import MB, StorageProfile
+from repro.simcore import Simulator
+from repro.storage import StorageDevice
+
+FCFS_FLAT = StorageProfile(
+    name="fcfs-flat", peak_rate=100.0 * MB, n_half=0.0, discipline="fcfs"
+)
+FCFS_KNEE = StorageProfile(
+    name="fcfs-knee", peak_rate=100.0 * MB, n_half=1.0, discipline="fcfs"
+)
+
+
+def _io(sim, dev, op, nbytes):
+    def proc():
+        done = yield dev.submit(op, nbytes)
+        return sim.now, done.latency
+
+    return sim.process(proc())
+
+
+def test_discipline_validation():
+    with pytest.raises(ValueError):
+        StorageProfile(name="x", peak_rate=1.0, n_half=0.0, discipline="lifo")
+
+
+def test_serial_completion_in_arrival_order():
+    sim = Simulator()
+    dev = StorageDevice(sim, FCFS_FLAT)
+    first = _io(sim, dev, "read", 50 * MB)
+    second = _io(sim, dev, "read", 10 * MB)
+    sim.run()
+    t1, lat1 = first.value
+    t2, lat2 = second.value
+    # FCFS: the small later request waits for the big earlier one.
+    assert t1 == pytest.approx(0.5)
+    assert t2 == pytest.approx(0.6)
+    assert lat2 == pytest.approx(0.6)
+
+
+def test_ps_would_reorder_but_fcfs_does_not():
+    """Contrast with the PS discipline where the short request wins."""
+    ps = StorageProfile(name="ps", peak_rate=100.0 * MB, n_half=0.0)
+    sim = Simulator()
+    dev = StorageDevice(sim, ps)
+    long = _io(sim, dev, "read", 50 * MB)
+    short = _io(sim, dev, "read", 10 * MB)
+    sim.run()
+    assert short.value[0] < long.value[0]  # PS: short first
+
+
+def test_latency_is_queue_depth_times_service():
+    sim = Simulator()
+    dev = StorageDevice(sim, FCFS_FLAT)
+    procs = [_io(sim, dev, "read", 10 * MB) for _ in range(5)]
+    sim.run()
+    # kth request completes at k * 0.1 s.
+    for k, p in enumerate(procs, start=1):
+        assert p.value[0] == pytest.approx(k * 0.1)
+
+
+def test_aggregate_rate_rises_with_outstanding():
+    """With the knee profile, W(1)=50 but W(4)=80 MB/s: four queued
+    requests finish faster than 4x a lone request's time."""
+    sim = Simulator()
+    dev = StorageDevice(sim, FCFS_KNEE)
+    procs = [_io(sim, dev, "read", 20 * MB) for _ in range(4)]
+    sim.run()
+    # The backlog drains at W(n) which shrinks as n drops:
+    # piecewise faster than W(1)=50 throughout -> total < 80/50*... just
+    # bound it: all 80 MB done strictly faster than at W(1).
+    assert sim.now < 80 * MB / (50.0 * MB) - 1e-9
+    # and no faster than the peak rate allows
+    assert sim.now >= 80 * MB / (100.0 * MB) - 1e-9
+
+
+def test_arrival_after_idle_starts_fresh():
+    sim = Simulator()
+    dev = StorageDevice(sim, FCFS_FLAT)
+
+    def proc():
+        yield dev.submit("read", 10 * MB)
+        yield sim.timeout(5.0)
+        done = yield dev.submit("read", 10 * MB)
+        return done.latency
+
+    p = sim.process(proc())
+    sim.run()
+    # No phantom backlog from the earlier request.
+    assert p.value == pytest.approx(0.1)
+
+
+def test_write_cost_applies_in_fcfs():
+    prof = StorageProfile(name="w", peak_rate=100.0 * MB, n_half=0.0,
+                          write_cost=2.0, discipline="fcfs")
+    sim = Simulator()
+    dev = StorageDevice(sim, prof)
+    w = _io(sim, dev, "write", 10 * MB)
+    r = _io(sim, dev, "read", 10 * MB)
+    sim.run()
+    assert w.value[0] == pytest.approx(0.2)   # 20 MB work
+    assert r.value[0] == pytest.approx(0.3)   # queued behind it
+
+
+def test_flush_storm_slows_fcfs_queue():
+    prof = StorageProfile(
+        name="s", peak_rate=100.0 * MB, n_half=0.0, discipline="fcfs",
+        flush_threshold=10 * MB, flush_duration=1.0, flush_factor=0.5,
+    )
+    sim = Simulator()
+    dev = StorageDevice(sim, prof)
+    w = _io(sim, dev, "write", 10 * MB)   # triggers the storm at submit
+    sim.run()
+    # Whole write serviced at 50 MB/s.
+    assert w.value[0] == pytest.approx(0.2)
+
+
+def test_meters_and_counts_in_fcfs():
+    sim = Simulator()
+    dev = StorageDevice(sim, FCFS_FLAT)
+    for _ in range(3):
+        _io(sim, dev, "read", 5 * MB)
+    _io(sim, dev, "write", 5 * MB)
+    sim.run()
+    assert dev.read_meter.total == 15 * MB
+    assert dev.write_meter.total == 5 * MB
+    assert dev.completed_requests == 4

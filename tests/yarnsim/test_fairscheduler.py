@@ -1,0 +1,94 @@
+"""Unit and property tests for weighted fair-share computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.yarnsim import fair_shares
+
+
+def test_equal_weights_equal_shares():
+    shares = fair_shares(96, {"a": 1.0, "b": 1.0})
+    assert shares == {"a": 48.0, "b": 48.0}
+
+
+def test_weighted_split():
+    shares = fair_shares(96, {"a": 2.0, "b": 1.0})
+    assert shares["a"] == pytest.approx(64.0)
+    assert shares["b"] == pytest.approx(32.0)
+
+
+def test_cap_redistributes():
+    shares = fair_shares(96, {"a": 1.0, "b": 1.0}, caps={"a": 10})
+    assert shares["a"] == 10.0
+    assert shares["b"] == pytest.approx(86.0)
+
+
+def test_demand_limits_share():
+    shares = fair_shares(96, {"a": 1.0, "b": 1.0}, demands={"a": 20, "b": 1000})
+    assert shares["a"] == 20.0
+    assert shares["b"] == pytest.approx(76.0)
+
+
+def test_zero_demand_app_gets_nothing():
+    shares = fair_shares(96, {"a": 1.0, "b": 1.0}, demands={"a": 0})
+    assert shares["a"] == 0.0
+    assert shares["b"] == pytest.approx(96.0)
+
+
+def test_total_demand_below_capacity():
+    shares = fair_shares(96, {"a": 1.0, "b": 1.0}, demands={"a": 5, "b": 7})
+    assert shares == {"a": 5.0, "b": 7.0}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fair_shares(-1, {"a": 1.0})
+    with pytest.raises(ValueError):
+        fair_shares(10, {"a": 0.0})
+    with pytest.raises(ValueError):
+        fair_shares(10, {"a": 1.0}, caps={"a": -1})
+
+
+def test_empty_weights_yield_empty():
+    assert fair_shares(10, {}) == {}
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e4),
+    weights=st.dictionaries(
+        st.sampled_from(list("abcdef")),
+        st.floats(min_value=0.1, max_value=100.0),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_property_shares_exhaust_capacity_without_caps(capacity, weights):
+    shares = fair_shares(capacity, weights)
+    assert sum(shares.values()) == pytest.approx(capacity, rel=1e-6)
+    for app, w in weights.items():
+        expected = capacity * w / sum(weights.values())
+        assert shares[app] == pytest.approx(expected, rel=1e-6)
+
+
+@given(
+    weights=st.dictionaries(
+        st.sampled_from(list("abcd")),
+        st.floats(min_value=0.1, max_value=10.0),
+        min_size=2,
+        max_size=4,
+    ),
+    caps=st.dictionaries(
+        st.sampled_from(list("abcd")),
+        st.floats(min_value=0.0, max_value=50.0),
+        max_size=4,
+    ),
+)
+def test_property_caps_respected_and_capacity_not_exceeded(weights, caps):
+    capacity = 100.0
+    shares = fair_shares(capacity, weights, caps=caps)
+    assert sum(shares.values()) <= capacity + 1e-6
+    for app in weights:
+        if app in caps:
+            assert shares[app] <= caps[app] + 1e-6
+        assert shares[app] >= 0.0

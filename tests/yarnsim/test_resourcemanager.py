@@ -1,0 +1,141 @@
+"""Unit tests for the Resource Manager's container allocation."""
+
+import pytest
+
+from repro.config import GB
+from repro.simcore import SimulationError, Simulator
+from repro.yarnsim import ContainerGrant, ResourceManager
+
+NODES = ["n0", "n1"]
+
+
+def make_rm(sim=None, cores=4, mem=8 * GB):
+    sim = sim or Simulator()
+    return sim, ResourceManager(sim, NODES, cores_per_node=cores,
+                                memory_per_node=mem)
+
+
+def test_register_and_duplicate():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    with pytest.raises(ValueError):
+        rm.register_app("a")
+
+
+def test_grant_immediately_when_free():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    ev = rm.request_container("a", 1, 1 * GB)
+    sim.run()
+    grant = ev.value
+    assert isinstance(grant, ContainerGrant)
+    assert grant.node_id in NODES
+    assert rm.apps["a"].cores_used == 1
+
+
+def test_preferred_node_honoured():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    ev = rm.request_container("a", 1, 1 * GB, preferred=["n1"])
+    sim.run()
+    assert ev.value.node_id == "n1"
+
+
+def test_fallback_when_preferred_full():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    for _ in range(4):  # fill n1
+        rm.request_container("a", 1, 1 * GB, preferred=["n1"])
+    ev = rm.request_container("a", 1, 1 * GB, preferred=["n1"])
+    sim.run()
+    assert ev.value.node_id == "n0"
+
+
+def test_memory_constrains_allocation():
+    sim, rm = make_rm(cores=8, mem=8 * GB)
+    rm.register_app("a")
+    grants = [rm.request_container("a", 1, 4 * GB) for _ in range(5)]
+    sim.run()
+    # 2 nodes x 8 GB / 4 GB = 4 containers fit; the fifth waits.
+    done = [g for g in grants if g.processed]
+    assert len(done) == 4
+    rm.release_container("a", done[0].value)
+    sim.run()
+    assert all(g.processed for g in grants)
+
+
+def test_max_cores_cap():
+    sim, rm = make_rm()
+    rm.register_app("a", max_cores=2)
+    grants = [rm.request_container("a", 1, 1 * GB) for _ in range(3)]
+    sim.run()
+    assert sum(g.processed for g in grants) == 2
+
+
+def test_most_starved_app_first():
+    """With one free core at a time, grants alternate toward the
+    weighted-fair split."""
+    sim, rm = make_rm(cores=1, mem=8 * GB)  # 2 cores total
+    a = rm.register_app("a", weight=1.0)
+    b = rm.register_app("b", weight=1.0)
+    for _ in range(10):
+        rm.request_container("a", 1, 1 * GB)
+        rm.request_container("b", 1, 1 * GB)
+    sim.run()
+    assert a.cores_used == 1 and b.cores_used == 1
+
+
+def test_release_wakes_waiter():
+    sim, rm = make_rm(cores=1)  # 2 nodes x 1 core
+    rm.register_app("a")
+    g1 = rm.request_container("a", 1, 1 * GB)
+    g2 = rm.request_container("a", 1, 1 * GB)
+    g3 = rm.request_container("a", 1, 1 * GB)
+    sim.run()
+    assert g1.processed and g2.processed and not g3.processed
+    rm.release_container("a", g1.value)
+    sim.run()
+    assert g3.processed
+
+
+def test_over_release_rejected():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    with pytest.raises(SimulationError):
+        rm.release_container("a", ContainerGrant("n0", 1, 1 * GB))
+
+
+def test_request_validation():
+    sim, rm = make_rm(cores=4)
+    rm.register_app("a")
+    with pytest.raises(ValueError):
+        rm.request_container("a", 0, 1 * GB)
+    with pytest.raises(ValueError):
+        rm.request_container("a", 5, 1 * GB)  # > cores per node
+    with pytest.raises(ValueError):
+        rm.request_container("a", 1, 100 * GB)
+
+
+def test_unregister_with_cores_in_use_rejected():
+    sim, rm = make_rm()
+    rm.register_app("a")
+    rm.request_container("a", 1, 1 * GB)
+    sim.run()
+    with pytest.raises(SimulationError):
+        rm.unregister_app("a")
+
+
+def test_unregister_drops_pending_requests():
+    sim, rm = make_rm(cores=1, mem=8 * GB)  # 2 cores total
+    rm.register_app("a")
+    rm.register_app("b")
+    b1 = rm.request_container("b", 1, 1 * GB)
+    b2 = rm.request_container("b", 1, 1 * GB)
+    sim.run()
+    pending_a = rm.request_container("a", 1, 1 * GB)  # cluster full
+    rm.unregister_app("a")  # drops the pending request with it
+    rm.release_container("b", b1.value)
+    g_b = rm.request_container("b", 1, 1 * GB)
+    sim.run()
+    assert g_b.processed          # the freed core went to b...
+    assert not pending_a.processed  # ...not to a's dropped request
