@@ -21,11 +21,16 @@ from repro.experiments.figures import (
     tab3_loc,
 )
 from repro.experiments.harness import ExperimentResult, controller_for
-from repro.experiments.report import format_result
+from repro.experiments.parallel import RunSpec, parallel_jobs, run_specs
+from repro.experiments.report import format_result, result_payload
 
 __all__ = [
     "ExperimentResult",
+    "RunSpec",
     "controller_for",
+    "parallel_jobs",
+    "result_payload",
+    "run_specs",
     "fig2_io_profiles",
     "fig3_contention",
     "fig6_isolation_hdd",

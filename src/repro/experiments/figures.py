@@ -3,6 +3,14 @@
 All experiments run at ``scale`` (default 1/64 of the paper's data
 volumes) on the simulated 8-worker testbed; paper-vs-measured notes for
 each are kept in EXPERIMENTS.md.
+
+Structure: every independent cluster run inside a figure is a
+module-level ``_*`` worker function wrapped in a picklable
+:class:`~repro.experiments.parallel.RunSpec` and executed through
+:func:`~repro.experiments.parallel.run_specs`.  With an active worker
+pool the variants of one figure run concurrently; results are merged in
+spec order, so the assembled :class:`ExperimentResult` is identical to
+a serial run (see parallel.py's determinism guarantee).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.experiments.harness import (
     run_single_job,
     total_throughput_mbs,
 )
+from repro.experiments.parallel import RunSpec, run_specs
 from repro.hive import run_query, tpch_q9, tpch_q21
 from repro.workloads import (
     facebook2009_trace,
@@ -66,64 +75,84 @@ _THROTTLE_BPS = 48.0 * MB
 
 
 # --------------------------------------------------------------------- Fig 2
+def _fig2_profile(config: ClusterConfig, app: str) -> dict:
+    """One app running alone: per-second read/write MB/s + runtime."""
+    if app == "terasort":
+        spec = terasort(config, "/in/tera", input_bytes=100 * GB)
+        preloads = {"/in/tera": 100 * GB}
+    else:
+        spec = wordcount(config, "/in/wiki")
+        preloads = {"/in/wiki": 50 * GB}
+    job, cluster = run_single_job(
+        config, PolicySpec.native(), spec, preloads, max_cores=None
+    )
+    t_end = job.finish_time
+    out = {"runtime": job.runtime, "series": {}}
+    for op in ("read", "write"):
+        agg = np.zeros(max(1, int(np.ceil(t_end)) + 1))
+        times = np.arange(len(agg), dtype=float)
+        for meter in cluster.device_meters(op):
+            ts = meter.rate_series(bucket=1.0, t_end=t_end + 1.0)
+            vals = np.asarray(ts.values)
+            agg[: len(vals)] += vals / MB
+        out["series"][op] = (times.tolist(), agg.tolist())
+    return out
+
+
 def fig2_io_profiles(config: ClusterConfig | None = None) -> ExperimentResult:
     """I/O demand (read/write MB/s vs time) of TeraSort and WordCount,
     each running alone with the full cluster."""
     config = config or default_cluster()
     result = ExperimentResult("fig2_io_profiles")
-    for label, spec, preloads in (
-        ("terasort", terasort(config, "/in/tera", input_bytes=100 * GB),
-         {"/in/tera": 100 * GB}),
-        ("wordcount", wordcount(config, "/in/wiki"), {"/in/wiki": 50 * GB}),
-    ):
-        job, cluster = run_single_job(
-            config, PolicySpec.native(), spec, preloads, max_cores=None
-        )
-        t_end = job.finish_time
+    apps = ("terasort", "wordcount")
+    runs = run_specs([
+        RunSpec.of(_fig2_profile, config, app, label=f"fig2:{app}")
+        for app in apps
+    ])
+    for label, run in zip(apps, runs):
         for op in ("read", "write"):
-            agg = np.zeros(max(1, int(np.ceil(t_end)) + 1))
-            times = np.arange(len(agg), dtype=float)
-            for meter in cluster.device_meters(op):
-                ts = meter.rate_series(bucket=1.0, t_end=t_end + 1.0)
-                vals = np.asarray(ts.values)
-                agg[: len(vals)] += vals / MB
-            result.series[f"{label}:{op}"] = (times.tolist(), agg.tolist())
-        result.row(app=label, runtime=job.runtime,
+            result.series[f"{label}:{op}"] = run["series"][op]
+        result.row(app=label, runtime=run["runtime"],
                    peak_read=float(max(result.series[f"{label}:read"][1])),
                    peak_write=float(max(result.series[f"{label}:write"][1])))
     return result
 
 
 # --------------------------------------------------------------------- Fig 3
+def _fig3_wc_run(config: ClusterConfig, interferer: str | None) -> float:
+    """WC runtime (CPU fixed at half the cluster) vs one interferer."""
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc = cluster.submit(wordcount(config, "/in/wiki"),
+                        io_weight=1.0, max_cores=48)
+    if interferer == "teravalidate":
+        cluster.preload_input("/in/sorted", _BIG_SORT)
+        cluster.submit(teravalidate(config, "/in/sorted"),
+                       io_weight=1.0, max_cores=48)
+    elif interferer == "teragen":
+        cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
+    elif interferer == "terasort":
+        cluster.preload_input("/in/tera", _BIG_SORT)
+        cluster.submit(terasort(config, "/in/tera", input_bytes=_BIG_SORT),
+                       io_weight=1.0, max_cores=48)
+    cluster.run(wc.done)
+    return wc.runtime
+
+
 def fig3_contention(config: ClusterConfig | None = None) -> ExperimentResult:
     """WordCount runtime alone vs against TeraValidate/TeraGen/TeraSort
     on native Hadoop, with WC's CPU allocation fixed at half the cluster."""
     config = config or default_cluster()
     result = ExperimentResult(f"fig3_contention_{config.storage.name}")
-
-    def run_wc(interferer: str | None) -> float:
-        cluster = BigDataCluster(config, PolicySpec.native())
-        cluster.preload_input("/in/wiki", 50 * GB)
-        wc = cluster.submit(wordcount(config, "/in/wiki"),
-                            io_weight=1.0, max_cores=48)
-        if interferer == "teravalidate":
-            cluster.preload_input("/in/sorted", _BIG_SORT)
-            cluster.submit(teravalidate(config, "/in/sorted"),
-                           io_weight=1.0, max_cores=48)
-        elif interferer == "teragen":
-            cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
-        elif interferer == "terasort":
-            cluster.preload_input("/in/tera", _BIG_SORT)
-            cluster.submit(terasort(config, "/in/tera", input_bytes=_BIG_SORT),
-                           io_weight=1.0, max_cores=48)
-        cluster.run(wc.done)
-        return wc.runtime
-
-    standalone = run_wc(None)
+    interferers: list[str | None] = [None, "teravalidate", "teragen", "terasort"]
+    runtimes = run_specs([
+        RunSpec.of(_fig3_wc_run, config, who, label=f"fig3:wc+{who or 'alone'}")
+        for who in interferers
+    ])
+    standalone = runtimes[0]
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0)
-    for interferer in ("teravalidate", "teragen", "terasort"):
-        rt = run_wc(interferer)
-        result.row(case=f"wc+{interferer}", runtime=rt,
+    for who, rt in zip(interferers[1:], runtimes[1:]):
+        result.row(case=f"wc+{who}", runtime=rt,
                    slowdown=slowdown(rt, standalone))
     return result
 
@@ -141,34 +170,44 @@ def _isolation_run(config, policy, io_weight=32.0):
     return wc, cluster
 
 
+def _wc_alone(config: ClusterConfig) -> float:
+    """WC standalone at full weight, half the cluster's cores."""
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/wiki", 50 * GB)
+    wc = cluster.submit(wordcount(config, "/in/wiki"),
+                        io_weight=1.0, max_cores=48)
+    cluster.run()
+    return wc.runtime
+
+
+def _isolation_case(config: ClusterConfig, policy: PolicySpec) -> tuple[float, float]:
+    """One WC+TG isolation run -> (wc runtime, aggregate MB/s)."""
+    wc, cluster = _isolation_run(config, policy)
+    return wc.runtime, total_throughput_mbs(cluster, wc.finish_time)
+
+
 def fig6_isolation_hdd(config: ClusterConfig | None = None) -> ExperimentResult:
     """Fig. 6a/6b: WC+TG under native, SFQ(D=12/8/4/2), and SFQ(D2),
     with the 32:1 sharing ratio favouring WordCount (HDD setup)."""
     config = config or default_cluster()
     result = ExperimentResult("fig6_isolation_hdd")
 
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/wiki", 50 * GB)
-    wc_alone = cluster.submit(wordcount(config, "/in/wiki"),
-                              io_weight=1.0, max_cores=48)
-    cluster.run()
-    standalone = wc_alone.runtime
+    cases = [("native", PolicySpec.native())]
+    cases += [(f"sfq(d={d})", PolicySpec.sfqd(depth=d)) for d in (12, 8, 4, 2)]
+    cases.append(("sfq(d2)", PolicySpec.sfqd2(controller_for(config))))
+
+    specs = [RunSpec.of(_wc_alone, config, label="fig6:wc_alone")]
+    specs += [RunSpec.of(_isolation_case, config, policy, label=f"fig6:{label}")
+              for label, policy in cases]
+    outcomes = run_specs(specs)
+
+    standalone = outcomes[0]
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
                throughput_mbs=None, throughput_loss=None)
-
-    wc, cl = _isolation_run(config, PolicySpec.native())
-    native_thr = total_throughput_mbs(cl, wc.finish_time)
-    result.row(case="native", runtime=wc.runtime,
-               slowdown=slowdown(wc.runtime, standalone),
-               throughput_mbs=native_thr, throughput_loss=0.0)
-
-    cases = [(f"sfq(d={d})", PolicySpec.sfqd(depth=d)) for d in (12, 8, 4, 2)]
-    cases.append(("sfq(d2)", PolicySpec.sfqd2(controller_for(config))))
-    for label, policy in cases:
-        wc, cl = _isolation_run(config, policy)
-        thr = total_throughput_mbs(cl, wc.finish_time)
-        result.row(case=label, runtime=wc.runtime,
-                   slowdown=slowdown(wc.runtime, standalone),
+    native_thr = outcomes[1][1]
+    for (label, _policy), (runtime, thr) in zip(cases, outcomes[1:]):
+        result.row(case=label, runtime=runtime,
+                   slowdown=slowdown(runtime, standalone),
                    throughput_mbs=thr,
                    throughput_loss=thr / native_thr - 1.0)
     return result
@@ -209,28 +248,22 @@ def fig8_isolation_ssd(config: ClusterConfig | None = None) -> ExperimentResult:
     where SFQ(D2) blends split read/write reference latencies."""
     config = config or default_cluster(storage=SSD_PROFILE)
     result = ExperimentResult("fig8_isolation_ssd")
+    ctrl = controller_for(config)
 
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/wiki", 50 * GB)
-    wc_alone = cluster.submit(wordcount(config, "/in/wiki"),
-                              io_weight=1.0, max_cores=48)
-    cluster.run()
-    standalone = wc_alone.runtime
+    outcomes = run_specs([
+        RunSpec.of(_wc_alone, config, label="fig8:wc_alone"),
+        RunSpec.of(_isolation_case, config, PolicySpec.native(),
+                   label="fig8:native"),
+        RunSpec.of(_isolation_case, config, PolicySpec.sfqd2(ctrl),
+                   label="fig8:sfq(d2)"),
+    ])
+    standalone = outcomes[0]
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
                throughput_mbs=None)
-
-    wc, cl = _isolation_run(config, PolicySpec.native())
-    native_thr = total_throughput_mbs(cl, wc.finish_time)
-    result.row(case="native", runtime=wc.runtime,
-               slowdown=slowdown(wc.runtime, standalone),
-               throughput_mbs=native_thr)
-
-    ctrl = controller_for(config)
-    wc, cl = _isolation_run(config, PolicySpec.sfqd2(ctrl))
-    thr = total_throughput_mbs(cl, wc.finish_time)
-    result.row(case="sfq(d2)", runtime=wc.runtime,
-               slowdown=slowdown(wc.runtime, standalone),
-               throughput_mbs=thr)
+    for label, (runtime, thr) in zip(("native", "sfq(d2)"), outcomes[1:]):
+        result.row(case=label, runtime=runtime,
+                   slowdown=slowdown(runtime, standalone),
+                   throughput_mbs=thr)
     result.notes.append(
         f"SSD split references: read {ctrl.ref_latency_read * 1000:.1f} ms, "
         f"write {ctrl.ref_latency_write * 1000:.1f} ms"
@@ -239,6 +272,25 @@ def fig8_isolation_ssd(config: ClusterConfig | None = None) -> ExperimentResult:
 
 
 # --------------------------------------------------------------------- Fig 9
+def _fig9_trace(config: ClusterConfig, policy: PolicySpec,
+                with_teragen: bool, n_jobs: int) -> list[float]:
+    """One Facebook2009 trace replay -> sorted job runtimes."""
+    trace = facebook2009_trace(config, n_jobs=n_jobs)
+    cluster = BigDataCluster(config, policy)
+    fb_jobs = []
+    for sj in trace:
+        cluster.preload_input(sj.spec.input_path, sj.input_bytes)
+        fb_jobs.append(
+            cluster.submit(sj.spec, io_weight=32.0, max_cores=48,
+                           delay=sj.arrival)
+        )
+    if with_teragen:
+        cluster.submit(teragen(config, output_bytes=4 * TB),
+                       io_weight=1.0, max_cores=48)
+    cluster.run(*[j.done for j in fb_jobs])
+    return sorted(j.runtime for j in fb_jobs)
+
+
 def fig9_facebook(
     config: ClusterConfig | None = None, n_jobs: int = 50
 ) -> ExperimentResult:
@@ -246,29 +298,17 @@ def fig9_facebook(
     interfered by TeraGen on native, and isolated by SFQ(D2) at 32:1."""
     config = config or default_cluster()
     result = ExperimentResult("fig9_facebook")
-    trace = facebook2009_trace(config, n_jobs=n_jobs)
-
-    def run_trace(policy, with_teragen):
-        cluster = BigDataCluster(config, policy)
-        fb_jobs = []
-        for sj in trace:
-            cluster.preload_input(sj.spec.input_path, sj.input_bytes)
-            fb_jobs.append(
-                cluster.submit(sj.spec, io_weight=32.0, max_cores=48,
-                               delay=sj.arrival)
-            )
-        if with_teragen:
-            cluster.submit(teragen(config, output_bytes=4 * TB),
-                           io_weight=1.0, max_cores=48)
-        cluster.run(*[j.done for j in fb_jobs])
-        return sorted(j.runtime for j in fb_jobs)
-
-    for label, policy, with_tg in (
+    cases = [
         ("standalone", PolicySpec.native(), False),
         ("interfered", PolicySpec.native(), True),
         ("sfq(d2)", PolicySpec.sfqd2(controller_for(config)), True),
-    ):
-        runtimes = run_trace(policy, with_tg)
+    ]
+    traces = run_specs([
+        RunSpec.of(_fig9_trace, config, policy, with_tg, n_jobs,
+                   label=f"fig9:{label}")
+        for label, policy, with_tg in cases
+    ])
+    for (label, _policy, _with_tg), runtimes in zip(cases, traces):
         cdf_y = [(i + 1) / len(runtimes) for i in range(len(runtimes))]
         result.series[label] = (runtimes, cdf_y)
         result.row(case=label,
@@ -279,6 +319,40 @@ def fig9_facebook(
 
 
 # -------------------------------------------------------------------- Fig 10
+_FIG10_QUERIES = {"q21": tpch_q21, "q9": tpch_q9}
+
+
+def _fig10_ts_standalone(config: ClusterConfig) -> float:
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/tera", 100 * GB)
+    ts = cluster.submit(terasort(config, "/in/tera"), max_cores=96)
+    cluster.run()
+    return ts.runtime
+
+
+def _fig10_q_standalone(config: ClusterConfig, qname: str) -> float:
+    cluster = BigDataCluster(config, PolicySpec.native())
+    q = _FIG10_QUERIES[qname](config)
+    cluster.preload_input(q.table_paths[0], q.table_bytes[0])
+    run = run_query(cluster, q, max_cores=96)
+    cluster.run(run.done)
+    return run.runtime
+
+
+def _fig10_contend(config: ClusterConfig, qname: str, policy: PolicySpec,
+                   io_weight: float) -> tuple[float, float]:
+    """TPC-H query vs TeraSort under one policy -> (query, TS) runtimes."""
+    cluster = BigDataCluster(config, policy)
+    q = _FIG10_QUERIES[qname](config)
+    cluster.preload_input(q.table_paths[0], q.table_bytes[0])
+    cluster.preload_input("/in/tera", 100 * GB)
+    run = run_query(cluster, q, io_weight=io_weight, max_cores=48)
+    ts = cluster.submit(terasort(config, "/in/tera"),
+                        io_weight=1.0, max_cores=48)
+    cluster.run(run.done, ts.done)
+    return run.runtime, ts.runtime
+
+
 def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResult:
     """TPC-H queries on Hive vs TeraSort on MapReduce under native,
     cgroups (weight 100:1 / throttle), and IBIS 100:1."""
@@ -286,33 +360,6 @@ def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResul
     result = ExperimentResult("fig10_multiframework")
     ctrl = controller_for(config)
 
-    def ts_standalone():
-        cluster = BigDataCluster(config, PolicySpec.native())
-        cluster.preload_input("/in/tera", 100 * GB)
-        ts = cluster.submit(terasort(config, "/in/tera"), max_cores=96)
-        cluster.run()
-        return ts.runtime
-
-    def q_standalone(query_fn):
-        cluster = BigDataCluster(config, PolicySpec.native())
-        q = query_fn(config)
-        cluster.preload_input(q.table_paths[0], q.table_bytes[0])
-        run = run_query(cluster, q, max_cores=96)
-        cluster.run(run.done)
-        return run.runtime
-
-    def contend(query_fn, policy, io_weight):
-        cluster = BigDataCluster(config, policy)
-        q = query_fn(config)
-        cluster.preload_input(q.table_paths[0], q.table_bytes[0])
-        cluster.preload_input("/in/tera", 100 * GB)
-        run = run_query(cluster, q, io_weight=io_weight, max_cores=48)
-        ts = cluster.submit(terasort(config, "/in/tera"),
-                            io_weight=1.0, max_cores=48)
-        cluster.run(run.done, ts.done)
-        return run.runtime, ts.runtime
-
-    ts_solo = ts_standalone()
     policies = [
         ("native", PolicySpec.native(), 1.0),
         ("cg(weight)-100:1", PolicySpec.cgroups_weight(), 100.0),
@@ -320,10 +367,26 @@ def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResul
          100.0),
         ("ibis-100:1", PolicySpec.sfqd2(ctrl), 100.0),
     ]
-    for qname, query_fn in (("q21", tpch_q21), ("q9", tpch_q9)):
-        solo = q_standalone(query_fn)
-        for label, policy, w in policies:
-            q_rt, ts_rt = contend(query_fn, policy, w)
+    qnames = list(_FIG10_QUERIES)
+
+    specs = [RunSpec.of(_fig10_ts_standalone, config, label="fig10:ts_solo")]
+    specs += [RunSpec.of(_fig10_q_standalone, config, qname,
+                         label=f"fig10:{qname}_solo") for qname in qnames]
+    specs += [
+        RunSpec.of(_fig10_contend, config, qname, policy, w,
+                   label=f"fig10:{qname}+{label}")
+        for qname in qnames
+        for label, policy, w in policies
+    ]
+    outcomes = run_specs(specs)
+
+    ts_solo = outcomes[0]
+    q_solos = dict(zip(qnames, outcomes[1:1 + len(qnames)]))
+    contend = iter(outcomes[1 + len(qnames):])
+    for qname in qnames:
+        solo = q_solos[qname]
+        for label, _policy, _w in policies:
+            q_rt, ts_rt = next(contend)
             q_rel = relative_performance(q_rt, solo)
             ts_rel = relative_performance(ts_rt, ts_solo)
             result.row(query=qname, case=label,
@@ -333,6 +396,27 @@ def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResul
 
 
 # -------------------------------------------------------------------- Fig 11
+def _fig11_solo(config: ClusterConfig, which: str, cores: int = 96) -> float:
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input("/in/tera", 100 * GB)
+    spec = teragen(config) if which == "teragen" else terasort(config, "/in/tera")
+    j = cluster.submit(spec, max_cores=cores)
+    cluster.run()
+    return j.runtime
+
+
+def _fig11_pair(config: ClusterConfig, policy: PolicySpec, ts_cores: int,
+                tg_cores: int, ts_w: float, tg_w: float) -> tuple[float, float]:
+    """TS + TG sharing the cluster -> (TS runtime, TG runtime)."""
+    cluster = BigDataCluster(config, policy)
+    cluster.preload_input("/in/tera", 100 * GB)
+    ts = cluster.submit(terasort(config, "/in/tera"),
+                        io_weight=ts_w, max_cores=ts_cores)
+    tg = cluster.submit(teragen(config), io_weight=tg_w, max_cores=tg_cores)
+    cluster.run()
+    return ts.runtime, tg.runtime
+
+
 def fig11_proportional_slowdown(
     config: ClusterConfig | None = None,
 ) -> ExperimentResult:
@@ -340,57 +424,93 @@ def fig11_proportional_slowdown(
     Scheduler 5:1) vs CPU 2:1 + IBIS I/O 2:1."""
     config = config or default_cluster()
     result = ExperimentResult("fig11_proportional_slowdown")
-
-    def solo(builder, cores=96):
-        cluster = BigDataCluster(config, PolicySpec.native())
-        cluster.preload_input("/in/tera", 100 * GB)
-        spec = builder(config) if builder is teragen else builder(config, "/in/tera")
-        j = cluster.submit(spec, max_cores=cores)
-        cluster.run()
-        return j.runtime
-
-    ts_solo = solo(terasort)
-    tg_solo = solo(teragen)
-
-    def pair(policy, ts_cores, tg_cores, ts_w, tg_w):
-        cluster = BigDataCluster(config, policy)
-        cluster.preload_input("/in/tera", 100 * GB)
-        ts = cluster.submit(terasort(config, "/in/tera"),
-                            io_weight=ts_w, max_cores=ts_cores)
-        tg = cluster.submit(teragen(config), io_weight=tg_w, max_cores=tg_cores)
-        cluster.run()
-        return slowdown(ts.runtime, ts_solo), slowdown(tg.runtime, tg_solo)
+    ctrl = controller_for(config)
 
     # The paper's methodology is manual tuning toward equal slowdown; we
     # search the same small knob grids and report the best of each mode.
-    def best(candidates):
-        outcomes = [(abs(t - g), t, g, label) for (t, g, label) in candidates]
-        return min(outcomes)
+    fs_grid = [(PolicySpec.native(), ts_cores, 96 - ts_cores, 1.0, 1.0,
+                f"fs-{ts_cores}:{96 - ts_cores}")
+               for ts_cores in (80, 72, 64, 56)]
+    ibis_grid = [(PolicySpec.sfqd2(ctrl), ts_cores, 96 - ts_cores, io_ratio, 1.0,
+                  f"fs-{ts_cores}:{96 - ts_cores}+io-{io_ratio:g}:1")
+                 for ts_cores in (64, 56, 48)
+                 for io_ratio in (2.0, 4.0, 8.0)]
 
-    fs_only = []
-    for ts_cores in (80, 72, 64, 56):
-        t, g = pair(PolicySpec.native(), ts_cores, 96 - ts_cores, 1.0, 1.0)
-        fs_only.append((t, g, f"fs-{ts_cores}:{96 - ts_cores}"))
-    gap, t, g, label = best(fs_only)
+    specs = [RunSpec.of(_fig11_solo, config, "terasort", label="fig11:ts_solo"),
+             RunSpec.of(_fig11_solo, config, "teragen", label="fig11:tg_solo")]
+    specs += [RunSpec.of(_fig11_pair, config, policy, tsc, tgc, tsw, tgw,
+                         label=f"fig11:{label}")
+              for policy, tsc, tgc, tsw, tgw, label in fs_grid + ibis_grid]
+    outcomes = run_specs(specs)
+
+    ts_solo, tg_solo = outcomes[0], outcomes[1]
+    pair_runtimes = outcomes[2:]
+
+    def best(grid, runtimes):
+        candidates = [
+            (abs(slowdown(ts_rt, ts_solo) - slowdown(tg_rt, tg_solo)),
+             slowdown(ts_rt, ts_solo), slowdown(tg_rt, tg_solo), label)
+            for (_p, _tc, _gc, _tw, _gw, label), (ts_rt, tg_rt)
+            in zip(grid, runtimes)
+        ]
+        return min(candidates)
+
+    gap, t, g, label = best(fs_grid, pair_runtimes[: len(fs_grid)])
     result.row(case=f"cpu only ({label})", ts_slowdown=t, tg_slowdown=g,
                gap=gap, avg=(t + g) / 2)
-
-    ctrl = controller_for(config)
-    with_ibis = []
-    for ts_cores in (64, 56, 48):
-        for io_ratio in (2.0, 4.0, 8.0):
-            t, g = pair(PolicySpec.sfqd2(ctrl), ts_cores, 96 - ts_cores,
-                        io_ratio, 1.0)
-            with_ibis.append(
-                (t, g, f"fs-{ts_cores}:{96 - ts_cores}+io-{io_ratio:g}:1")
-            )
-    gap, t, g, label = best(with_ibis)
+    gap, t, g, label = best(ibis_grid, pair_runtimes[len(fs_grid):])
     result.row(case=f"cpu+ibis ({label})", ts_slowdown=t, tg_slowdown=g,
                gap=gap, avg=(t + g) / 2)
     return result
 
 
 # -------------------------------------------------------------------- Fig 12
+def _fig12_skew_nodes(config: ClusterConfig) -> list[str]:
+    return [f"dn{i:02d}" for i in range(config.n_workers // 2)]
+
+
+def _fig12_windowed_ratio(config: ClusterConfig, policy: PolicySpec,
+                          window: float = 8.0) -> float:
+    """Total-service ratio (wide/hot) over a fixed window (target 1.0)."""
+    skew_nodes = _fig12_skew_nodes(config)
+    cluster = BigDataCluster(config, policy)
+    cluster.preload_input("/in/hot", 800 * GB, nodes=skew_nodes)
+    cluster.preload_input("/in/wide", 800 * GB)
+    cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
+                   io_weight=1.0, max_cores=48)
+    cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
+                   io_weight=1.0, max_cores=48)
+    cluster.run_for(window)
+    svc = cluster.total_service_by_app()
+    hot = next(v for k, v in svc.items() if "hot" in k)
+    wide = next(v for k, v in svc.items() if "wide" in k)
+    return wide / hot
+
+
+def _fig12_solo(config: ClusterConfig, path: str, skewed: bool,
+                name: str) -> float:
+    cluster = BigDataCluster(config, PolicySpec.native())
+    cluster.preload_input(path, 200 * GB,
+                          nodes=_fig12_skew_nodes(config) if skewed else None)
+    j = cluster.submit(teravalidate(config, path, name=name), max_cores=96)
+    cluster.run()
+    return j.runtime
+
+
+def _fig12_pair(config: ClusterConfig, policy: PolicySpec) -> tuple[float, float]:
+    """Skewed + wide scans sharing the cluster -> their runtimes."""
+    skew_nodes = _fig12_skew_nodes(config)
+    cluster = BigDataCluster(config, policy)
+    cluster.preload_input("/in/hot", 200 * GB, nodes=skew_nodes)
+    cluster.preload_input("/in/wide", 200 * GB)
+    hot = cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
+                         io_weight=1.0, max_cores=48)
+    wide = cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
+                          io_weight=1.0, max_cores=48)
+    cluster.run()
+    return hot.runtime, wide.runtime
+
+
 def fig12_coordination(config: ClusterConfig | None = None) -> ExperimentResult:
     """Distributed scheduling coordination on vs off (§5, §7.6).
 
@@ -403,89 +523,98 @@ def fig12_coordination(config: ClusterConfig | None = None) -> ExperimentResult:
     disabled (No Sync) and enabled (Sync)."""
     config = config or default_cluster()
     result = ExperimentResult("fig12_coordination")
-    skew_nodes = [f"dn{i:02d}" for i in range(config.n_workers // 2)]
     ctrl = controller_for(config)
+    modes = [(False, "no sync"), (True, "sync")]
 
-    def windowed_ratio(coordinated: bool, window: float = 8.0) -> float:
-        cluster = BigDataCluster(
-            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated)
-        )
-        cluster.preload_input("/in/hot", 800 * GB, nodes=skew_nodes)
-        cluster.preload_input("/in/wide", 800 * GB)
-        cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
-                       io_weight=1.0, max_cores=48)
-        cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
-                       io_weight=1.0, max_cores=48)
-        cluster.run_for(window)
-        svc = cluster.total_service_by_app()
-        hot = next(v for k, v in svc.items() if "hot" in k)
-        wide = next(v for k, v in svc.items() if "wide" in k)
-        return wide / hot
+    specs = [
+        RunSpec.of(_fig12_windowed_ratio, config,
+                   PolicySpec.sfqd2(ctrl, coordinated=coordinated),
+                   label=f"fig12:ratio:{label}")
+        for coordinated, label in modes
+    ]
+    specs += [
+        RunSpec.of(_fig12_solo, config, "/in/hot", True, "scan-hot",
+                   label="fig12:hot_solo"),
+        RunSpec.of(_fig12_solo, config, "/in/wide", False, "scan-wide",
+                   label="fig12:wide_solo"),
+    ]
+    specs += [
+        RunSpec.of(_fig12_pair, config,
+                   PolicySpec.sfqd2(ctrl, coordinated=coordinated),
+                   label=f"fig12:pair:{label}")
+        for coordinated, label in modes
+    ]
+    outcomes = run_specs(specs)
 
-    def solo(path, nodes=None, name="scan"):
-        cluster = BigDataCluster(config, PolicySpec.native())
-        cluster.preload_input(path, 200 * GB, nodes=nodes)
-        j = cluster.submit(teravalidate(config, path, name=name), max_cores=96)
-        cluster.run()
-        return j.runtime
-
-    hot_solo = solo("/in/hot", nodes=skew_nodes, name="scan-hot")
-    wide_solo = solo("/in/wide", name="scan-wide")
-
-    def pair(coordinated: bool):
-        cluster = BigDataCluster(
-            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated)
-        )
-        cluster.preload_input("/in/hot", 200 * GB, nodes=skew_nodes)
-        cluster.preload_input("/in/wide", 200 * GB)
-        hot = cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
-                             io_weight=1.0, max_cores=48)
-        wide = cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
-                              io_weight=1.0, max_cores=48)
-        cluster.run()
-        return slowdown(hot.runtime, hot_solo), slowdown(wide.runtime, wide_solo)
-
-    for coordinated, label in ((False, "no sync"), (True, "sync")):
-        ratio = windowed_ratio(coordinated)
-        hot_sd, wide_sd = pair(coordinated)
+    ratios = outcomes[:2]
+    hot_solo, wide_solo = outcomes[2], outcomes[3]
+    pairs = outcomes[4:]
+    for (coordinated, label), ratio, (hot_rt, wide_rt) in zip(modes, ratios, pairs):
         result.row(case=label,
                    total_service_ratio=ratio,
                    ratio_error=abs(ratio - 1.0),
-                   hot_slowdown=hot_sd, wide_slowdown=wide_sd)
+                   hot_slowdown=slowdown(hot_rt, hot_solo),
+                   wide_slowdown=slowdown(wide_rt, wide_solo))
     return result
 
 
 # -------------------------------------------------------------------- Fig 13
+def _single_app_run(config: ClusterConfig, app: str,
+                    policy: PolicySpec) -> float:
+    """One app alone with the full cluster -> runtime (Fig. 13)."""
+    job, _cluster = _single_app_job(config, app, policy)
+    return job.runtime
+
+
+def _single_app_job(config: ClusterConfig, app: str, policy: PolicySpec):
+    preloads = {}
+    if app == "wordcount":
+        preloads["/in/wiki"] = 50 * GB
+        spec = wordcount(config, "/in/wiki")
+    elif app == "terasort":
+        preloads["/in/tera"] = 100 * GB
+        spec = terasort(config, "/in/tera")
+    else:
+        spec = teragen(config)
+    return run_single_job(config, policy, spec, preloads, max_cores=96)
+
+
 def fig13_overhead(config: ClusterConfig | None = None) -> ExperimentResult:
     """Per-application overhead of IBIS interposition and scheduling:
     WC/TG/TS each alone with the full cluster, native vs IBIS."""
     config = config or default_cluster()
     result = ExperimentResult("fig13_overhead")
     ctrl = controller_for(config)
+    apps = ("wordcount", "teragen", "terasort")
 
-    def run(builder, policy):
-        preloads = {}
-        if builder is wordcount:
-            preloads["/in/wiki"] = 50 * GB
-            spec = wordcount(config, "/in/wiki")
-        elif builder is terasort:
-            preloads["/in/tera"] = 100 * GB
-            spec = terasort(config, "/in/tera")
-        else:
-            spec = teragen(config)
-        job, _ = run_single_job(config, policy, spec, preloads, max_cores=96)
-        return job.runtime
-
-    for builder, name in ((wordcount, "wordcount"), (teragen, "teragen"),
-                          (terasort, "terasort")):
-        rt_native = run(builder, PolicySpec.native())
-        rt_ibis = run(builder, PolicySpec.sfqd2(ctrl))
-        result.row(app=name, native=rt_native, ibis=rt_ibis,
+    runtimes = run_specs([
+        RunSpec.of(_single_app_run, config, app, policy,
+                   label=f"fig13:{app}:{label}")
+        for app in apps
+        for policy, label in ((PolicySpec.native(), "native"),
+                              (PolicySpec.sfqd2(ctrl), "ibis"))
+    ])
+    it = iter(runtimes)
+    for app in apps:
+        rt_native, rt_ibis = next(it), next(it)
+        result.row(app=app, native=rt_native, ibis=rt_ibis,
                    overhead=rt_ibis / rt_native - 1.0)
     return result
 
 
 # -------------------------------------------------------------------- Tab 2
+def _tab2_run(config: ClusterConfig, app: str, policy: PolicySpec) -> dict:
+    """One instrumented run -> the scalars Table 2 is computed from."""
+    job, cluster = _single_app_job(config, app, policy)
+    return {
+        "runtime": job.runtime,
+        "requests": sum(s.stats.total_requests for s in cluster.schedulers()),
+        "broker_messages": cluster.broker.messages if cluster.broker else 0,
+        "broker_message_bytes":
+            cluster.broker.message_bytes if cluster.broker else 0.0,
+    }
+
+
 def tab2_resource_usage(config: ClusterConfig | None = None) -> ExperimentResult:
     """Daemon CPU/memory usage attributable to I/O management.
 
@@ -503,33 +632,30 @@ def tab2_resource_usage(config: ClusterConfig | None = None) -> ExperimentResult
     cpu_s_per_request = {"native": 8e-6, "ibis": 25e-6}
     bytes_per_queued_request = 120.0   # request object + heap slot
 
-    def run(builder, policy):
-        preloads = {}
-        if builder is wordcount:
-            preloads["/in/wiki"] = 50 * GB
-            spec = wordcount(config, "/in/wiki")
-        elif builder is terasort:
-            preloads["/in/tera"] = 100 * GB
-            spec = terasort(config, "/in/tera")
-        else:
-            spec = teragen(config)
-        return run_single_job(config, policy, spec, preloads, max_cores=96)
-
-    for builder, name in ((wordcount, "wordcount"), (teragen, "teragen"),
-                          (terasort, "terasort")):
-        for policy, label in ((PolicySpec.native(), "native"),
-                              (PolicySpec.sfqd2(ctrl, coordinated=True), "ibis")):
-            job, cluster = run(builder, policy)
-            requests = sum(s.stats.total_requests for s in cluster.schedulers())
+    apps = ("wordcount", "teragen", "terasort")
+    policies = [(PolicySpec.native(), "native"),
+                (PolicySpec.sfqd2(ctrl, coordinated=True), "ibis")]
+    stats = run_specs([
+        RunSpec.of(_tab2_run, config, app, policy,
+                   label=f"tab2:{app}:{label}")
+        for app in apps
+        for policy, label in policies
+    ])
+    it = iter(stats)
+    for app in apps:
+        for _policy, label in policies:
+            s = next(it)
+            requests = s["requests"]
             sched_cpu_s = requests * cpu_s_per_request[label]
             if label == "ibis":
-                sched_cpu_s += (cluster.broker.messages if cluster.broker else 0) * 50e-6
+                sched_cpu_s += s["broker_messages"] * 50e-6
             # per-core %, over the run, across the cluster's daemon cores
-            cpu_pct = 100.0 * sched_cpu_s / (job.runtime * config.n_workers)
-            mem_bytes = requests / max(1.0, job.runtime) * bytes_per_queued_request
-            if label == "ibis" and cluster.broker is not None:
-                mem_bytes += cluster.broker.message_bytes / max(1.0, job.runtime)
-            result.row(app=name, case=label,
+            cpu_pct = 100.0 * sched_cpu_s / (s["runtime"] * config.n_workers)
+            mem_bytes = (requests / max(1.0, s["runtime"])
+                         * bytes_per_queued_request)
+            if label == "ibis":
+                mem_bytes += s["broker_message_bytes"] / max(1.0, s["runtime"])
+            result.row(app=app, case=label,
                        cpu_pct=cpu_pct,
                        mem_mb_per_node=mem_bytes / MB,
                        requests=requests)

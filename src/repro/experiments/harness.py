@@ -3,6 +3,12 @@ standard run helpers."""
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -14,6 +20,7 @@ from repro.mapreduce import Job, JobSpec
 
 __all__ = [
     "ExperimentResult",
+    "calibration_cache_dir",
     "controller_for",
     "run_single_job",
     "total_throughput_mbs",
@@ -46,16 +53,78 @@ class ExperimentResult:
 
 
 # The §4 profiling procedure is deterministic per storage profile, so
-# experiments share one calibration per profile.
+# experiments share one calibration per profile.  Two cache layers:
+# an in-process dict, and a disk cache shared across worker processes
+# and invocations (so a parallel `run all` profiles each storage setup
+# exactly once instead of once per worker).
 _CONTROLLERS: dict[tuple, DepthController] = {}
+
+#: bump to invalidate every on-disk calibration (e.g. when the device
+#: model or the §4 profiling procedure changes)
+_CALIBRATION_VERSION = 1
+
+
+def calibration_cache_dir() -> pathlib.Path:
+    """Disk-cache location: ``$IBIS_CACHE_DIR`` or ``~/.cache/ibis-repro``."""
+    override = os.environ.get("IBIS_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "ibis-repro"
+
+
+def _calibration_path(config: ClusterConfig, kwargs: dict) -> pathlib.Path:
+    payload = json.dumps(
+        {
+            "version": _CALIBRATION_VERSION,
+            "storage": dataclasses.asdict(config.storage),
+            "io_chunk": config.io_chunk,
+            "kwargs": kwargs,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return calibration_cache_dir() / f"calib-{config.storage.name}-{digest}.json"
+
+
+def _load_calibration(path: pathlib.Path) -> Optional[DepthController]:
+    try:
+        fields = json.loads(path.read_text())["controller"]
+        return DepthController(**fields)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # missing or corrupt cache entry: recalibrate
+
+
+def _store_calibration(path: pathlib.Path, ctrl: DepthController) -> None:
+    """Best-effort atomic write (concurrent workers may race benignly)."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump({"controller": dataclasses.asdict(ctrl)}, fh, indent=2)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # read-only cache dir etc.: the in-memory cache still works
 
 
 def controller_for(config: ClusterConfig, **kwargs) -> DepthController:
-    """Cached ``calibrate_controller`` (one profiling pass per setup)."""
+    """Cached ``calibrate_controller`` (one profiling pass per setup).
+
+    Set ``IBIS_NO_CALIB_CACHE=1`` to bypass the disk layer (the
+    in-process cache is always on).
+    """
     key = (config.storage, config.io_chunk, tuple(sorted(kwargs.items())))
     ctrl = _CONTROLLERS.get(key)
+    if ctrl is not None:
+        return ctrl
+    use_disk = os.environ.get("IBIS_NO_CALIB_CACHE") != "1"
+    path = _calibration_path(config, dict(kwargs)) if use_disk else None
+    if path is not None:
+        ctrl = _load_calibration(path)
     if ctrl is None:
-        ctrl = _CONTROLLERS[key] = calibrate_controller(config, **kwargs)
+        ctrl = calibrate_controller(config, **kwargs)
+        if path is not None:
+            _store_calibration(path, ctrl)
+    _CONTROLLERS[key] = ctrl
     return ctrl
 
 

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from typing import Any
 
 from repro.experiments.harness import ExperimentResult
 
-__all__ = ["format_result", "format_rows"]
+__all__ = ["format_result", "format_rows", "result_payload"]
 
 
 def _fmt(value: Any) -> str:
@@ -40,6 +41,26 @@ def format_rows(rows: list[dict[str, Any]]) -> str:
         "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
     )
     return f"{header}\n{sep}\n{body}"
+
+
+def result_payload(result: ExperimentResult) -> str:
+    """Canonical JSON for an experiment result.
+
+    Key order and float repr are fully determined by the result's
+    content, so two runs that produced the same numbers serialize to the
+    same bytes — this is what the parallel-vs-serial determinism checks
+    (and ``run.py --out``) compare.
+    """
+    return json.dumps(
+        {
+            "name": result.name,
+            "rows": result.rows,
+            "series": result.series,
+            "notes": result.notes,
+        },
+        indent=2,
+        sort_keys=True,
+    )
 
 
 def format_result(result: ExperimentResult) -> str:

@@ -5,20 +5,42 @@ Regenerate any figure or table of the paper from the shell::
     python -m repro.experiments.run fig6
     python -m repro.experiments.run fig10 fig11
     python -m repro.experiments.run all
+    python -m repro.experiments.run all --jobs 4      # parallel fan-out
+    python -m repro.experiments.run fig11 --jobs 0    # one worker per core
     python -m repro.experiments.run --list
-    python -m repro.experiments.run fig6 --scale 128   # 1/128 volumes
+    python -m repro.experiments.run fig6 --scale 128  # 1/128 volumes
     python -m repro.experiments.run fig8 --storage ssd
+    python -m repro.experiments.run all --out results/
+
+Parallelism (``--jobs N``; 0 = all cores):
+
+* several experiments requested — whole experiments fan out across the
+  worker pool (each worker runs its figure's cluster runs serially);
+* a single experiment requested — the figure's independent per-policy /
+  per-weight cluster runs fan out instead (see figures.py).
+
+Either way results are merged in deterministic order, so the output is
+identical to ``--jobs 1`` (the wall-clock line reports per-experiment
+worker time; the figure content is byte-identical).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
 from repro.config import HDD_PROFILE, SSD_PROFILE, default_cluster
 from repro.experiments import figures
-from repro.experiments.report import format_result
+from repro.experiments.harness import controller_for
+from repro.experiments.parallel import (
+    RunSpec,
+    default_jobs,
+    parallel_jobs,
+    run_specs,
+)
+from repro.experiments.report import format_result, result_payload
 
 #: short name -> (function, description)
 EXPERIMENTS = {
@@ -37,6 +59,25 @@ EXPERIMENTS = {
 }
 
 
+def _timed_experiment(name: str, config) -> tuple:
+    """Run one experiment; returns (result, worker wall seconds)."""
+    fn, _desc = EXPERIMENTS[name]
+    t0 = time.time()
+    result = fn(config)
+    return result, time.time() - t0
+
+
+def _emit(name: str, result, elapsed: float,
+          out_dir: pathlib.Path | None) -> None:
+    text = format_result(result)
+    print(text)
+    print(f"({name} regenerated in {elapsed:.1f}s wall)\n")
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{name}.json").write_text(result_payload(result) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.run",
@@ -49,6 +90,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="run at 1/N of the paper's data volumes (default 64)")
     parser.add_argument("--storage", choices=("hdd", "ssd"), default="hdd")
     parser.add_argument("--seed", type=int, default=20160531)
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the parallel fan-out "
+                             "(default 1 = serial, 0 = one per core); output "
+                             "is deterministic regardless of N")
+    parser.add_argument("--out", type=pathlib.Path, default=None, metavar="DIR",
+                        help="also write each result as DIR/<name>.{txt,json}")
     args = parser.parse_args(argv)
 
     if args.list or not args.names:
@@ -61,16 +108,31 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
                      f"use --list to see choices")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     storage = SSD_PROFILE if args.storage == "ssd" else HDD_PROFILE
     config = default_cluster(scale=1.0 / args.scale, storage=storage,
                              seed=args.seed)
-    for name in names:
-        fn, _desc = EXPERIMENTS[name]
-        t0 = time.time()
-        result = fn(config)
-        print(format_result(result))
-        print(f"({name} regenerated in {time.time() - t0:.1f}s wall)\n")
+    if jobs > 1:
+        # Warm the calibration caches (memory + disk) once in the parent
+        # so workers load the profiling result instead of redoing it.
+        controller_for(config)
+
+    if jobs > 1 and len(names) > 1:
+        # Fan out across experiments: one task per figure/table.
+        specs = [RunSpec.of(_timed_experiment, name, config, label=name)
+                 for name in names]
+        with parallel_jobs(jobs):
+            outcomes = run_specs(specs)
+        for name, (result, elapsed) in zip(names, outcomes):
+            _emit(name, result, elapsed, args.out)
+    else:
+        # Serial experiment loop; with jobs > 1 the independent cluster
+        # runs *inside* each figure fan out over the shared pool.
+        with parallel_jobs(jobs):
+            for name in names:
+                result, elapsed = _timed_experiment(name, config)
+                _emit(name, result, elapsed, args.out)
     return 0
 
 

@@ -100,6 +100,20 @@ class Event:
         return self._exc
 
     # -- triggering --------------------------------------------------------
+    def _retrigger(self, value: Any = None) -> "Event":
+        """Re-arm a *processed* event for reuse.
+
+        Engine-internal: lets hot dispatch loops (e.g. the storage
+        device's completion ticks) pool event objects instead of
+        allocating a fresh one per dispatch.  Only the owner of an event
+        that is guaranteed to have no external waiters may do this.
+        """
+        self._value = value
+        self._exc = None
+        self._state = _TRIGGERED
+        self.callbacks = []
+        return self
+
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         if self._state != _PENDING:
             raise SimulationError(f"event {self!r} already triggered")
@@ -121,7 +135,11 @@ class Event:
     # -- internal -----------------------------------------------------------
     def _process(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
+        # A processed event can never fire again: drop the callback list
+        # outright (appending to a processed event is a bug and now fails
+        # loudly) instead of allocating a fresh empty list per event.
+        callbacks = self.callbacks
+        self.callbacks = None
         for cb in callbacks:
             cb(self)
 
@@ -138,11 +156,37 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        # Hot path: inline Event.__init__ and the heap push, and skip the
+        # per-instance formatted name — one Timeout per simulated wait.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._exc = None
         self._state = _TRIGGERED
-        sim._push(delay, self)
+        self.name = "timeout"
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heapq.heappush(sim._heap, (sim.now + delay, seq, self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout {self.delay:g} {'processed' if self._state >= _PROCESSED else 'triggered'}>"
+
+
+class _StartSignal:
+    """Sentinel 'trigger' for a process's very first resume.
+
+    Looks enough like a triggered event (``_value``/``_exc``/``callbacks``)
+    for :meth:`Process._resume` and :meth:`Process.interrupt` to treat it
+    uniformly, without allocating a real init :class:`Event` per process.
+    """
+
+    __slots__ = ()
+    _value: Any = None
+    _exc: Optional[BaseException] = None
+    callbacks: list = []
+
+
+_START = _StartSignal()
 
 
 class Process(Event):
@@ -153,20 +197,28 @@ class Process(Event):
     processes can therefore ``yield proc`` to join it.
     """
 
-    __slots__ = ("_gen", "_target", "_interrupts")
+    __slots__ = ("_gen", "_target", "_interrupts", "_started")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         if not hasattr(gen, "send"):
             raise SimulationError(f"Process requires a generator, got {gen!r}")
         self._gen = gen
-        self._target: Optional[Event] = None  # event we are waiting on
         self._interrupts: list[Interrupt] = []
-        # Kick off at the current simulation time via an initialisation event.
-        init = Event(sim, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
-        self._target = init
-        init.succeed()
+        # Kick off at the current simulation time: the process schedules
+        # *itself* as its start record (see _process), so no init Event
+        # is allocated.
+        self._started = False
+        self._target: Optional[Event] = _START
+        sim._push(0.0, self)
+
+    def _process(self) -> None:
+        if not self._started:
+            # First pop: start the generator directly.
+            self._started = True
+            self._resume(_START)
+            return
+        Event._process(self)
 
     @property
     def is_alive(self) -> bool:
@@ -193,32 +245,41 @@ class Process(Event):
     def _resume(self, trigger: Event) -> None:
         if self._state != _PENDING:  # already finished (e.g. raced interrupt)
             return
-        if trigger is not self._target and not self._interrupts:
+        interrupts = self._interrupts
+        if trigger is not self._target and not interrupts:
             return  # stale wake-up (e.g. interrupt already delivered)
         self._target = None
         sim = self.sim
         sim._active = self
+        gen = self._gen
         try:
             while True:
-                if self._interrupts:
-                    exc: BaseException = self._interrupts.pop(0)
+                if not interrupts and trigger._exc is None:
+                    # Common case: deliver the trigger's value.
                     try:
-                        nxt = self._gen.throw(exc)
+                        nxt = gen.send(trigger._value)
                     except StopIteration as stop:
                         self._finish_ok(stop.value)
                         return
-                elif trigger._exc is not None:
+                elif interrupts:
+                    exc: BaseException = interrupts.pop(0)
                     try:
-                        nxt = self._gen.throw(trigger._exc)
+                        nxt = gen.throw(exc)
                     except StopIteration as stop:
                         self._finish_ok(stop.value)
                         return
                 else:
                     try:
-                        nxt = self._gen.send(trigger._value)
+                        nxt = gen.throw(trigger._exc)
                     except StopIteration as stop:
                         self._finish_ok(stop.value)
                         return
+                # Fast path: the dominant yield is a freshly created
+                # Timeout, which is always in the TRIGGERED state.
+                if nxt.__class__ is Timeout and nxt._state != _PROCESSED:
+                    self._target = nxt
+                    nxt.callbacks.append(self._resume)
+                    return
                 if not isinstance(nxt, Event):
                     raise SimulationError(
                         f"process {self.name} yielded non-event {nxt!r}"
@@ -253,32 +314,52 @@ class Process(Event):
 class Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
-    __slots__ = ("_events", "_remaining")
+    __slots__ = ("_events", "_remaining", "_mode")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], mode: str):
         super().__init__(sim, name=mode)
         self._events = list(events)
         self._remaining = len(self._events)
+        self._mode = mode
         if self._remaining == 0:
             self.succeed([])
             return
         for ev in self._events:
+            if self._state != _PENDING:
+                break  # settled already (e.g. AnyOf with a processed component)
             if ev._state == _PROCESSED:
-                self._check(ev, mode)
+                self._check(ev)
             else:
-                ev.callbacks.append(lambda e, m=mode: self._check(e, m))
+                ev.callbacks.append(self._check)
 
-    def _check(self, ev: Event, mode: str) -> None:
+    def _check(self, ev: Event) -> None:
         if self._state != _PENDING:
             return
         if ev._exc is not None:
+            self._detach()
             self.fail(ev._exc)
             return
         self._remaining -= 1
-        if mode == "any" or self._remaining == 0:
+        if self._mode == "any" or self._remaining == 0:
             # _process() flips state to PROCESSED before callbacks run, so
             # the event that fired this check is included.
+            self._detach()
             self.succeed([e._value for e in self._events if e.processed])
+
+    def _detach(self) -> None:
+        """De-register our callback from components that have not fired.
+
+        Without this, an AnyOf over long-lived events would leave one
+        dead callback per component alive on every still-pending event
+        for the rest of the simulation.
+        """
+        cb = self._check
+        for ev in self._events:
+            if ev._state != _PROCESSED:
+                try:
+                    ev.callbacks.remove(cb)
+                except ValueError:
+                    pass
 
 
 class AllOf(Condition):
@@ -363,24 +444,39 @@ class Simulator:
         """Run until the given time, the given event triggers, or the queue
         drains.  Returns the event's value when ``until`` is an event.
 
+        With a finite time horizon the clock always advances to the
+        horizon, even when the queue drains early (SimPy semantics).
+
         Failed processes that nobody joined re-raise here so model bugs
         cannot pass silently.
         """
+        # The loops below are the simulation's hottest code: locals are
+        # bound once and ``step``/``peek`` are inlined so each event costs
+        # one heap pop, one dispatch, and one (usually false) branch.
+        heap = self._heap
+        pop = heapq.heappop
+        defunct = self._defunct
         if isinstance(until, Event):
             stop_ev = until
-            while not stop_ev.processed:
-                if not self._heap:
+            while stop_ev._state != _PROCESSED:
+                if not heap:
                     raise SimulationError(
                         f"simulation ran dry before event {stop_ev!r} triggered"
                     )
-                self.step()
-                self._raise_defunct(stop_ev)
+                when, _seq, ev = pop(heap)
+                self.now = when
+                ev._process()
+                if defunct:
+                    self._raise_defunct(stop_ev)
             return stop_ev.value
         horizon = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
-            self._raise_defunct(None)
-        if self._heap and horizon != float("inf"):
+        while heap and heap[0][0] <= horizon:
+            when, _seq, ev = pop(heap)
+            self.now = when
+            ev._process()
+            if defunct:
+                self._raise_defunct(None)
+        if horizon != float("inf") and horizon > self.now:
             self.now = horizon
         return None
 

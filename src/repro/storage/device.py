@@ -91,6 +91,12 @@ class StorageDevice:
         self._storm_until = 0.0
         self._written_since_flush = 0.0
 
+        # Completion-tick dispatch: every submit/complete reschedules the
+        # next tick, so tick events are pooled and reused instead of
+        # allocated per dispatch, and I/O event names are precomputed.
+        self._tick_pool: list[Event] = []
+        self._io_name = {"read": f"io:{name}:read", "write": f"io:{name}:write"}
+
         # Instrumentation
         self.read_meter = RateMeter(f"{name}:read")
         self.write_meter = RateMeter(f"{name}:write")
@@ -113,7 +119,7 @@ class StorageDevice:
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
         self._advance()
-        ev = Event(self.sim, name=f"io:{self.name}:{op}")
+        ev = Event(self.sim, name=self._io_name[op])
         entry = _Active(op, int(nbytes), self.sim.now, ev)
         cost = self.profile.read_cost if op == "read" else self.profile.write_cost
         work = nbytes * cost + self.profile.request_overhead
@@ -176,7 +182,13 @@ class StorageDevice:
         self._v_updated = now
 
     def _reschedule(self) -> None:
-        """(Re)schedule the next completion callback."""
+        """(Re)schedule the next completion tick.
+
+        Tick events come from a small pool: a superseded tick returns its
+        event object in :meth:`_on_tick`, so steady-state dispatch does no
+        event allocation at all (the generation token rides in the event's
+        value slot).
+        """
         self._gen += 1
         if not self._heap:
             return
@@ -184,12 +196,25 @@ class StorageDevice:
         if rate <= 0:
             raise RuntimeError(f"device {self.name}: zero rate with work queued")
         target_v = self._heap[0][0]
-        dt = max(0.0, (target_v - self._v) / rate)
+        dt = (target_v - self._v) / rate
+        if dt < 0.0:
+            dt = 0.0
         self._scheduled_target = target_v
-        gen = self._gen
-        self.sim.call_in(dt, lambda: self._on_tick(gen))
+        pool = self._tick_pool
+        if pool:
+            ev = pool.pop()._retrigger(self._gen)
+        else:
+            ev = Event(self.sim, name="tick")
+            ev._retrigger(self._gen)
+        ev.callbacks.append(self._on_tick)
+        self.sim._push(dt, ev)
 
-    def _on_tick(self, gen: int) -> None:
+    def _on_tick(self, tick: Event) -> None:
+        gen = tick._value
+        if len(self._tick_pool) < 8:
+            # _process() has already detached the callback list; the event
+            # object is dead and safe to recycle.
+            self._tick_pool.append(tick)
         if gen != self._gen:
             return  # superseded by a later state change
         self._advance()

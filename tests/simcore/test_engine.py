@@ -183,6 +183,79 @@ def test_interrupt_finished_process_rejected():
         p.interrupt()
 
 
+def test_interrupt_while_waiting_on_already_triggered_event():
+    """Interrupting a process whose target has triggered (but not yet
+    processed) must deliver the interrupt, and the stale event firing
+    later must not wake the process a second time."""
+    sim = Simulator()
+    ev = sim.event()
+    log = []
+
+    def waiter():
+        try:
+            got = yield ev
+            log.append(("value", got))
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause))
+        yield sim.timeout(5.0)
+        log.append("resumed")
+
+    def driver(target):
+        yield sim.timeout(1.0)
+        ev.succeed("payload")        # ev now TRIGGERED, on the queue
+        target.interrupt(cause="cut")  # delivered before ev processes
+        yield sim.timeout(0.0)
+
+    target = sim.process(waiter())
+    sim.process(driver(target))
+    sim.run()
+    assert log == [("interrupted", "cut"), "resumed"]
+    assert sim.now == 6.0
+
+
+def test_double_interrupt_in_same_timestep():
+    """Two interrupts queued at the same time are both delivered, in
+    order, through the `_interrupts` queue in `_resume`."""
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+                log.append("timeout")
+            except Interrupt as intr:
+                log.append((intr.cause, sim.now))
+        return "finished"
+
+    def driver(target):
+        yield sim.timeout(2.0)
+        target.interrupt(cause="first")
+        target.interrupt(cause="second")
+
+    target = sim.process(sleeper())
+    sim.process(driver(target))
+    assert sim.run(until=target) == "finished"
+    assert log == [("first", 2.0), ("second", 2.0)]
+
+
+def test_interrupt_before_first_step_fails_process():
+    """Interrupting a process that has not started yet throws into a
+    just-created generator, which cannot catch: the process fails."""
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:  # pragma: no cover - unreachable: gen not started
+            pass
+
+    p = sim.process(sleeper())
+    p.interrupt(cause="early")
+    with pytest.raises(Interrupt):
+        sim.run()
+
+
 def test_stale_target_does_not_resume_after_interrupt():
     """After an interrupt, the original timeout firing must not re-wake."""
     sim = Simulator()
@@ -216,6 +289,33 @@ def test_run_until_time_stops_clock_at_horizon():
 
     sim.process(proc())
     sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_horizon_advances_clock_when_queue_drains():
+    """A finite horizon must be reached even if the last event is earlier
+    (SimPy semantics): the clock represents elapsed simulated time, not
+    the last thing that happened."""
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_horizon_on_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_run_until_past_horizon_does_not_rewind_clock():
+    sim = Simulator()
+    sim.run(until=10.0)
+    sim.run(until=4.0)
     assert sim.now == 10.0
 
 
@@ -269,6 +369,56 @@ def test_any_of_returns_on_first():
     t, values = sim.run(until=sim.process(proc()))
     assert t == 1.0
     assert values == ["fast"]
+
+
+def test_any_of_deregisters_from_pending_components():
+    """After AnyOf triggers, the losing components must not keep the
+    condition's callback alive (they may live for the whole sim)."""
+    sim = Simulator()
+    slow = sim.timeout(50.0, "slow")
+    fast = sim.timeout(1.0, "fast")
+
+    def proc():
+        values = yield sim.any_of([slow, fast])
+        return values
+
+    p = sim.process(proc())
+    sim.run(until=2.0)
+    assert p.value == ["fast"]
+    assert slow.callbacks == []  # dead lambda would linger here pre-fix
+
+
+def test_any_of_late_triggering_component_is_harmless():
+    sim = Simulator()
+    slow = sim.timeout(50.0, "slow")
+    fast = sim.timeout(1.0, "fast")
+
+    def proc():
+        values = yield sim.any_of([slow, fast])
+        return values
+
+    p = sim.process(proc())
+    sim.run()  # runs past t=50: `slow` fires after the AnyOf settled
+    assert sim.now == 50.0
+    assert p.value == ["fast"]
+
+
+def test_all_of_failure_deregisters_from_pending_components():
+    sim = Simulator()
+    slow = sim.timeout(50.0)
+    failing = sim.event()
+
+    def proc():
+        try:
+            yield sim.all_of([slow, failing])
+        except ValueError as exc:
+            return str(exc)
+
+    p = sim.process(proc())
+    failing.fail(ValueError("boom"))
+    sim.run(until=p)
+    assert p.value == "boom"
+    assert slow.callbacks == []
 
 
 def test_all_of_empty_is_immediate():
