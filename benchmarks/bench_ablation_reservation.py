@@ -7,7 +7,7 @@ underutilized).  This bench measures all three points on the WC+TG
 scenario."""
 
 from repro.config import GB, default_cluster
-from repro.core import DataNodeIO, IOClass, PolicySpec
+from repro.core import PolicySpec
 from repro.core.reservation import ReservationScheduler
 from repro.cluster import BigDataCluster
 from repro.experiments import ExperimentResult, controller_for

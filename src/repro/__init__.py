@@ -27,7 +27,7 @@ from repro.config import (
     YarnConfig,
     default_cluster,
 )
-from repro.core import DepthController, IOClass, IOTag, PolicySpec
+from repro.core import DepthController, IOClass, IOTag, NodePolicy, PolicySpec
 from repro.mapreduce import JobSpec
 
 __version__ = "1.0.0"
@@ -43,6 +43,7 @@ __all__ = [
     "JobSpec",
     "KB",
     "MB",
+    "NodePolicy",
     "PolicySpec",
     "SSD_PROFILE",
     "StorageProfile",

@@ -21,13 +21,14 @@ This is the main entry point of the public API::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.config import ClusterConfig
 from repro.core import (
     DataNodeIO,
     IOClass,
     IOTag,
+    NodePolicy,
     PolicySpec,
     SchedulingBroker,
 )
@@ -39,6 +40,7 @@ from repro.mapreduce import AppMaster, Job, JobSpec
 from repro.mapreduce.task import TaskEnv
 from repro.net import NetFabric
 from repro.simcore import RngRegistry, SimulationError, Simulator
+from repro.telemetry import TelemetryBus
 
 __all__ = ["BigDataCluster"]
 
@@ -47,23 +49,26 @@ class BigDataCluster:
     def __init__(
         self,
         config: ClusterConfig,
-        policy: PolicySpec,
-        record_latency: bool = False,
+        policy: Union[PolicySpec, NodePolicy],
     ):
         self.config = config
-        self.policy = policy
+        self.policy = NodePolicy.coerce(policy)
         self.sim = Simulator()
         self.rng = RngRegistry(config.seed)
+        # One bus for the whole testbed: every scheduler, device and the
+        # broker publish here, so a single sink observes the cluster.
+        self.telemetry = TelemetryBus()
 
         node_ids = [f"dn{i:02d}" for i in range(config.n_workers)]
         self.node_ids = node_ids
         self.broker: Optional[SchedulingBroker] = (
-            SchedulingBroker(self.sim) if policy.coordinated else None
+            SchedulingBroker(self.sim, telemetry=self.telemetry)
+            if self.policy.coordinated else None
         )
         self.nodes: dict[str, DataNodeIO] = {
             nid: DataNodeIO(
-                self.sim, nid, config, policy, broker=self.broker,
-                record_latency=record_latency,
+                self.sim, nid, config, self.policy, broker=self.broker,
+                telemetry=self.telemetry,
             )
             for nid in node_ids
         }
@@ -192,6 +197,19 @@ class BigDataCluster:
             for dev in (node.hdfs_device, node.tmp_device):
                 total += dev.read_meter.total + dev.write_meter.total
         return total / end
+
+    def windowed_throughput(self, t0: float, t1: float) -> float:
+        """Aggregate storage throughput (bytes/s) over [t0, t1) —
+        the Fig. 6b/8b accounting, owned by the cluster so experiments
+        need not reach into per-node devices."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        total = 0.0
+        for node in self.nodes.values():
+            for dev in (node.hdfs_device, node.tmp_device):
+                total += dev.read_meter.window_total(t0, t1)
+                total += dev.write_meter.window_total(t0, t1)
+        return total / (t1 - t0)
 
     def app_throughput_meters(self, app_id: str):
         """All per-scheduler rate meters of one application."""

@@ -10,6 +10,10 @@
   coordination (§5).
 * :mod:`repro.core.cgroups` — the cgroups blkio baseline that can only see
   intermediate I/Os (§6).
+* :mod:`repro.core.registry` — the pluggable policy registry every
+  scheduler subclass self-registers into, with declared capabilities.
+* :mod:`repro.core.policy` — :class:`PolicySpec`/:class:`NodePolicy`:
+  policy selection as validated, serializable data.
 * :mod:`repro.core.interposition` — per-datanode interposition points
   wiring I/O classes to schedulers and devices (§3).
 * :mod:`repro.core.metrics` — fairness/slowdown metrics used throughout §7.
@@ -18,7 +22,16 @@
 from repro.core.base import IOScheduler, NativeScheduler, SchedulerStats
 from repro.core.broker import BrokerClient, SchedulingBroker
 from repro.core.cgroups import CgroupsThrottleScheduler, CgroupsWeightScheduler
-from repro.core.interposition import DataNodeIO, PolicySpec
+from repro.core.interposition import DataNodeIO
+from repro.core.policy import NodePolicy, PolicySpec, canonical_json
+from repro.core.registry import (
+    REGISTRY,
+    PolicyInfo,
+    PolicyRegistry,
+    get_policy,
+    policy_names,
+    register_scheduler,
+)
 from repro.core.request import IORequest
 from repro.core.sfq import SFQDScheduler
 from repro.core.sfqd2 import DepthController, SFQD2Scheduler
@@ -35,9 +48,17 @@ __all__ = [
     "IOScheduler",
     "IOTag",
     "NativeScheduler",
+    "NodePolicy",
+    "PolicyInfo",
+    "PolicyRegistry",
     "PolicySpec",
+    "REGISTRY",
     "SchedulerStats",
     "SchedulingBroker",
     "SFQDScheduler",
     "SFQD2Scheduler",
+    "canonical_json",
+    "get_policy",
+    "policy_names",
+    "register_scheduler",
 ]

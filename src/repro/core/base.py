@@ -3,24 +3,52 @@
 Every interposed scheduling point — the Data Node's HDFS path, the local
 intermediate-I/O path, and the Node Manager's shuffle servlet — hosts
 one :class:`IOScheduler` instance in front of a :class:`StorageDevice`.
+
+Subclassing ``IOScheduler`` with an ``algorithm`` attribute registers
+the implementation in the policy registry (:mod:`repro.core.registry`)
+together with its declared capabilities, making it constructible
+through :class:`~repro.core.policy.PolicySpec` without touching any
+core code.  Every request's life cycle is published as structured
+events on the scheduler's :class:`~repro.telemetry.TelemetryBus`;
+:class:`SchedulerStats` is itself a bus sink.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.registry import register_scheduler
 from repro.core.request import IORequest
+from repro.core.tags import IOClass
 from repro.simcore import Event, RateMeter, Simulator
 from repro.storage import IOCompletion, StorageDevice
+from repro.telemetry import (
+    REQUEST_COMPLETED,
+    REQUEST_DISPATCHED,
+    REQUEST_SUBMITTED,
+    RequestCompleted,
+    RequestDispatched,
+    RequestSubmitted,
+    TelemetryBus,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policy import PolicySpec
 
 __all__ = ["IOScheduler", "NativeScheduler", "SchedulerStats"]
 
 
 class SchedulerStats:
-    """Per-scheduler accounting shared by all scheduler implementations."""
+    """Per-scheduler accounting, fed by ``request_completed`` events.
 
-    def __init__(self, name: str):
+    A telemetry sink scoped to one scheduler's events: the per-app
+    service counters the Scheduling Broker reads (the ``a_ij`` of §5),
+    per-app completed-bytes meters for throughput figures, and the
+    latency window the SFQ(D2) controller drains.
+    """
+
+    def __init__(self, name: str, bus: Optional[TelemetryBus] = None):
         self.name = name
         # Bytes of I/O serviced per application (the a_ij of §5).
         self.service_by_app: dict[str, float] = defaultdict(float)
@@ -34,20 +62,23 @@ class SchedulerStats:
         self.total_bytes = 0.0
         # Last-seen weight per app (requests carry the weight in their tag).
         self.weight_by_app: dict[str, float] = {}
+        if bus is not None:
+            bus.subscribe(REQUEST_COMPLETED, self._on_completed, source=name)
 
-    def note_completion(self, t: float, req: IORequest, done: IOCompletion) -> None:
-        app = req.app_id
-        self.service_by_app[app] += req.nbytes
+    def _on_completed(self, ev: RequestCompleted) -> None:
+        app = ev.app_id
+        self.service_by_app[app] += ev.nbytes
+        self.weight_by_app[app] = ev.weight
         meter = self.meter_by_app.get(app)
         if meter is None:
             meter = self.meter_by_app[app] = RateMeter(f"{self.name}:{app}")
-        meter.add(t, req.nbytes)
-        if req.op == "read":
-            self.window_read_latencies.append(done.latency)
+        meter.add(ev.t, ev.nbytes)
+        if ev.op == "read":
+            self.window_read_latencies.append(ev.latency)
         else:
-            self.window_write_latencies.append(done.latency)
+            self.window_write_latencies.append(ev.latency)
         self.total_requests += 1
-        self.total_bytes += req.nbytes
+        self.total_bytes += ev.nbytes
 
     def drain_window(self) -> tuple[list[float], list[float]]:
         """Return and reset the (reads, writes) latency window."""
@@ -61,29 +92,86 @@ class IOScheduler:
 
     Subclasses override :meth:`_enqueue` (and whatever dispatch machinery
     they need) and call :meth:`_dispatch_to_device` to start servicing a
-    request.  The base class handles completion accounting and exposes
-    the per-app service counters the Scheduling Broker reads.
+    request.  The base class publishes the request life-cycle events and
+    exposes the per-app service counters the Scheduling Broker reads.
+
+    Class attributes double as the registry capability declaration:
+
+    * ``algorithm`` — canonical policy name (defining it in a subclass
+      body registers the class; leave it inherited to stay unregistered);
+    * ``aliases`` — alternative spec names resolving to this policy;
+    * ``manages_classes`` — I/O classes the scheduler can manage; the
+      interposition layer falls back to native for the rest;
+    * ``supports_coordination`` — implements ``add_start_delay`` (§5);
+    * ``required_params`` — :class:`PolicySpec` fields/params that must
+      be present to construct this scheduler.
     """
 
     #: human-readable algorithm name, overridden by subclasses
     algorithm = "abstract"
+    aliases: tuple[str, ...] = ()
+    manages_classes: frozenset[IOClass] = frozenset(IOClass)
+    supports_coordination: bool = False
+    required_params: tuple[str, ...] = ()
 
-    def __init__(self, sim: Simulator, device: StorageDevice, name: str = ""):
+    def __init_subclass__(cls, register: bool = True, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if register and "algorithm" in cls.__dict__ and cls.algorithm:
+            register_scheduler(cls)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: StorageDevice,
+        name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
+    ):
         self.sim = sim
         self.device = device
         self.name = name or f"{self.algorithm}@{device.name}"
-        self.stats = SchedulerStats(self.name)
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        self.stats = SchedulerStats(self.name, bus=self.telemetry)
         self.outstanding = 0
         self._completion_hooks: list[Callable[[IORequest, IOCompletion], None]] = []
         self._submit_hooks: list[Callable[[IORequest], None]] = []
 
+    # ------------------------------------------------------------- registry
+    @classmethod
+    def from_spec(
+        cls,
+        sim: Simulator,
+        device: StorageDevice,
+        spec: "PolicySpec",
+        name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
+    ) -> "IOScheduler":
+        """Construct from a :class:`PolicySpec` (registry factory hook).
+
+        The default forwards ``spec.params`` as keyword arguments, which
+        is all a third-party scheduler needs; built-ins with dedicated
+        spec fields (depth, controller, throttle rates) override this.
+        """
+        return cls(sim, device, name=name, telemetry=telemetry, **dict(spec.params))
+
     # ------------------------------------------------------------------ api
     def submit(self, req: IORequest) -> Event:
-        """Accept a tagged request; returns its completion event."""
-        self.stats.weight_by_app[req.app_id] = req.weight
-        self._enqueue(req)
+        """Accept a tagged request; returns its completion event.
+
+        Submit hooks run *before* the request is enqueued: enqueueing
+        may dispatch and even complete the request synchronously (the
+        native passthrough does), and hooks must observe the submission
+        first.
+        """
         for hook in self._submit_hooks:
             hook(req)
+        telemetry = self.telemetry
+        if telemetry.publishes(REQUEST_SUBMITTED):
+            telemetry.publish(RequestSubmitted(
+                t=self.sim.now, source=self.name, app_id=req.app_id,
+                op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
+                queued=self.queued,
+            ))
+        self._enqueue(req)
         return req.completion
 
     def add_submit_hook(self, hook: Callable[[IORequest], None]) -> None:
@@ -108,14 +196,28 @@ class IOScheduler:
 
     # ------------------------------------------------------------ plumbing
     def _dispatch_to_device(self, req: IORequest) -> None:
-        req.dispatch_time = self.sim.now
+        now = self.sim.now
+        req.dispatch_time = now
         self.outstanding += 1
+        telemetry = self.telemetry
+        if telemetry.publishes(REQUEST_DISPATCHED):
+            telemetry.publish(RequestDispatched(
+                t=now, source=self.name, app_id=req.app_id,
+                op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
+                wait=now - req.submit_time,
+            ))
         dev_ev = self.device.submit(req.op, req.nbytes)
         dev_ev.callbacks.append(lambda ev, r=req: self._complete(r, ev.value))
 
     def _complete(self, req: IORequest, done: IOCompletion) -> None:
         self.outstanding -= 1
-        self.stats.note_completion(self.sim.now, req, done)
+        # Always published: this event *is* the accounting (SchedulerStats
+        # subscribes scoped, so it runs before any wildcard sink).
+        self.telemetry.publish(RequestCompleted(
+            t=self.sim.now, source=self.name, app_id=req.app_id,
+            op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
+            latency=done.latency, weight=req.weight,
+        ))
         for hook in self._completion_hooks:
             hook(req, done)
         self._on_complete(req, done)

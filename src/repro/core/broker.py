@@ -17,9 +17,10 @@ heartbeats.  We model the message sizes for the overhead study (§7.7).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.simcore import Simulator
+from repro.telemetry import BROKER_SYNC, BrokerSync, TelemetryBus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.sfq import SFQDScheduler
@@ -40,8 +41,9 @@ class SchedulingBroker:
     bounded by (#schedulers × #apps), as the paper argues (§5).
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, telemetry: Optional[TelemetryBus] = None):
         self.sim = sim
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
         self._client_vectors: dict[str, dict[str, float]] = defaultdict(dict)
         # Totals are kept per scope: each I/O service type (persistent /
         # intermediate / network) is proportionally shared on its own —
@@ -78,7 +80,13 @@ class SchedulingBroker:
             totals[app] += cumulative - mine.get(app, 0.0)
             mine[app] = cumulative
         self.messages += 1
-        self.message_bytes += 2 * _ENTRY_BYTES * max(1, len(service_vector))
+        nbytes = 2 * _ENTRY_BYTES * max(1, len(service_vector))
+        self.message_bytes += nbytes
+        if self.telemetry.publishes(BROKER_SYNC):
+            self.telemetry.publish(BrokerSync(
+                t=self.sim.now, source=client_id, scope=scope,
+                apps=len(service_vector), message_bytes=nbytes,
+            ))
         return {app: totals[app] for app in service_vector}
 
 

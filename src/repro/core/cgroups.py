@@ -14,19 +14,26 @@ issues directly to the local file system** — the intermediate
 spill/merge traffic.  HDFS I/Os are serviced by the shared Data Node
 daemon and shuffle reads by the shared Node Manager servlet, which run
 outside any application container, so cgroups cannot differentiate
-them.  The interposition layer therefore wires cgroups schedulers to
-the INTERMEDIATE class only (see :mod:`repro.core.interposition`).
+them.  Both schedulers therefore declare ``manages_classes =
+{INTERMEDIATE}`` — the restriction is a registry capability, and the
+interposition layer falls back to native for the other classes.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import IOScheduler
 from repro.core.request import IORequest
 from repro.core.sfq import SFQDScheduler
+from repro.core.tags import IOClass
 from repro.simcore import Simulator
 from repro.storage import IOCompletion, StorageDevice
+from repro.telemetry import TelemetryBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policy import PolicySpec
 
 __all__ = ["CgroupsThrottleScheduler", "CgroupsWeightScheduler"]
 
@@ -41,9 +48,23 @@ class CgroupsWeightScheduler(SFQDScheduler):
     """
 
     algorithm = "cgroups-weight"
+    aliases = ()
+    manages_classes = frozenset({IOClass.INTERMEDIATE})
+    supports_coordination = False  # no DSFQ hooks in the kernel baseline
 
-    def __init__(self, sim: Simulator, device: StorageDevice, name: str = ""):
-        super().__init__(sim, device, depth=8, name=name)
+    def __init__(
+        self,
+        sim: Simulator,
+        device: StorageDevice,
+        name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
+    ):
+        super().__init__(sim, device, depth=8, name=name, telemetry=telemetry)
+
+    @classmethod
+    def from_spec(cls, sim, device, spec: "PolicySpec", name: str = "",
+                  telemetry: Optional[TelemetryBus] = None) -> "CgroupsWeightScheduler":
+        return cls(sim, device, name=name, telemetry=telemetry)
 
 
 class CgroupsThrottleScheduler(IOScheduler):
@@ -57,6 +78,8 @@ class CgroupsThrottleScheduler(IOScheduler):
     """
 
     algorithm = "cgroups-throttle"
+    manages_classes = frozenset({IOClass.INTERMEDIATE})
+    required_params = ("throttle_rates",)
 
     def __init__(
         self,
@@ -64,16 +87,23 @@ class CgroupsThrottleScheduler(IOScheduler):
         device: StorageDevice,
         rates_bps: dict[str, float],
         name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
     ):
         for app, rate in rates_bps.items():
             if rate <= 0:
                 raise ValueError(f"throttle rate for {app!r} must be positive")
-        super().__init__(sim, device, name)
+        super().__init__(sim, device, name, telemetry=telemetry)
         self.rates_bps = dict(rates_bps)
         self._queues: dict[str, deque[IORequest]] = {}
         # Time at which each capped app's bucket next allows a dispatch.
         self._next_allowed: dict[str, float] = {}
         self._release_scheduled: set[str] = set()
+
+    @classmethod
+    def from_spec(cls, sim, device, spec: "PolicySpec", name: str = "",
+                  telemetry: Optional[TelemetryBus] = None) -> "CgroupsThrottleScheduler":
+        return cls(sim, device, dict(spec.throttle_rates), name=name,
+                   telemetry=telemetry)
 
     def rate_for(self, app_id: str) -> float | None:
         """Cap for an application: exact app-id match, or match on the

@@ -9,103 +9,60 @@ data on separate disks) and three interposed scheduling points:
 * ``NETWORK``     → scheduler in the Node Manager's shuffle servlet,
   also in front of the temporary-data disk (map outputs live there).
 
-:class:`PolicySpec` selects which scheduler implementation backs each
-point — native FIFO, SFQ(D), SFQ(D2), or the cgroups baseline (which,
-faithfully to §6, can only be attached to the INTERMEDIATE class; the
-other two classes fall back to native).
+A :class:`~repro.core.policy.NodePolicy` selects which registered
+scheduler implementation backs each point; a bare
+:class:`~repro.core.policy.PolicySpec` is accepted as shorthand for the
+uniform one-policy-everywhere configuration.  Construction goes through
+the policy registry (:mod:`repro.core.registry`): a scheduler whose
+declared ``manages_classes`` does not cover a class falls back to
+native at that point — which is exactly how cgroups ends up managing
+only the INTERMEDIATE class (§6).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.config import ClusterConfig
 from repro.core.base import IOScheduler, NativeScheduler
 from repro.core.broker import BrokerClient, SchedulingBroker
-from repro.core.cgroups import CgroupsThrottleScheduler, CgroupsWeightScheduler
+from repro.core.policy import NodePolicy, PolicySpec
 from repro.core.request import IORequest
-from repro.core.sfq import SFQDScheduler
-from repro.core.sfqd2 import DepthController, SFQD2Scheduler
 from repro.core.tags import IOClass
 from repro.simcore import Event, Simulator
 from repro.storage import StorageDevice
+from repro.telemetry import TelemetryBus
 
-__all__ = ["DataNodeIO", "PolicySpec"]
-
-_KINDS = ("native", "sfqd", "sfqd2", "cgroups-weight", "cgroups-throttle")
-
-
-@dataclass(frozen=True)
-class PolicySpec:
-    """Which I/O scheduler runs at every interposition point.
-
-    ``coordinated`` enables the Scheduling Broker (§5); it only applies
-    to the SFQ-family schedulers.
-    """
-
-    kind: str = "native"
-    depth: int = 4                                 # SFQ(D)
-    controller: Optional[DepthController] = None   # SFQ(D2)
-    throttle_rates: dict[str, float] = field(default_factory=dict)
-    coordinated: bool = False
-    sync_period: float = 1.0
-
-    def __post_init__(self):
-        if self.kind not in _KINDS:
-            raise ValueError(f"unknown policy kind {self.kind!r}; one of {_KINDS}")
-        if self.kind == "sfqd2" and self.controller is None:
-            raise ValueError("sfqd2 policy requires a DepthController")
-        if self.kind == "cgroups-throttle" and not self.throttle_rates:
-            raise ValueError("cgroups-throttle policy requires throttle_rates")
-        if self.coordinated and self.kind not in ("sfqd", "sfqd2"):
-            raise ValueError("coordination applies only to SFQ-family policies")
-
-    # Convenience constructors used throughout the experiments -------------
-    @classmethod
-    def native(cls) -> "PolicySpec":
-        return cls(kind="native")
-
-    @classmethod
-    def sfqd(cls, depth: int, coordinated: bool = False) -> "PolicySpec":
-        return cls(kind="sfqd", depth=depth, coordinated=coordinated)
-
-    @classmethod
-    def sfqd2(
-        cls, controller: DepthController, coordinated: bool = False
-    ) -> "PolicySpec":
-        return cls(kind="sfqd2", controller=controller, coordinated=coordinated)
-
-    @classmethod
-    def cgroups_weight(cls) -> "PolicySpec":
-        return cls(kind="cgroups-weight")
-
-    @classmethod
-    def cgroups_throttle(cls, rates_bps: dict[str, float]) -> "PolicySpec":
-        return cls(kind="cgroups-throttle", throttle_rates=dict(rates_bps))
+__all__ = ["DataNodeIO", "NodePolicy", "PolicySpec"]
 
 
 class DataNodeIO:
-    """The storage stack of one worker node, with interposed schedulers."""
+    """The storage stack of one worker node, with interposed schedulers.
+
+    All schedulers, both devices and any broker client publish onto one
+    shared :class:`TelemetryBus` (``self.telemetry``) — pass the
+    cluster's bus in to observe every node on a single stream.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         node_id: str,
         config: ClusterConfig,
-        policy: PolicySpec,
+        policy: Union[PolicySpec, NodePolicy],
         broker: Optional[SchedulingBroker] = None,
-        record_latency: bool = False,
+        telemetry: Optional[TelemetryBus] = None,
     ):
         self.sim = sim
         self.node_id = node_id
         self.config = config
-        self.policy = policy
+        self.policy = NodePolicy.coerce(policy)
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
         self.hdfs_device = StorageDevice(
-            sim, config.storage, name=f"{node_id}:hdfs", record_latency=record_latency
+            sim, config.storage, name=f"{node_id}:hdfs", telemetry=self.telemetry
         )
         self.tmp_device = StorageDevice(
-            sim, config.storage, name=f"{node_id}:tmp", record_latency=record_latency
+            sim, config.storage, name=f"{node_id}:tmp", telemetry=self.telemetry
         )
         self.schedulers: dict[IOClass, IOScheduler] = {}
         self.broker_clients: list[BrokerClient] = []
@@ -114,45 +71,36 @@ class DataNodeIO:
             (IOClass.INTERMEDIATE, self.tmp_device),
             (IOClass.NETWORK, self.tmp_device),
         ):
-            sched = self._build_scheduler(io_class, device)
+            spec = self.policy.spec_for(io_class)
+            name = f"{node_id}:{io_class.value}"
+            info = spec.info
+            if info.manages(io_class):
+                sched = info.build(
+                    sim, device, spec, name=name, telemetry=self.telemetry
+                )
+            else:
+                # The scheduler cannot see this class's I/Os (cgroups only
+                # sees container-issued local I/O, §6): run it unmanaged.
+                sched = NativeScheduler(
+                    sim, device, name=name, telemetry=self.telemetry
+                )
             self.schedulers[io_class] = sched
             if (
-                policy.coordinated
+                spec.coordinated
                 and broker is not None
-                and isinstance(sched, SFQDScheduler)
+                and info.supports_coordination
+                and info.manages(io_class)
             ):
                 self.broker_clients.append(
                     BrokerClient(
                         sim,
                         broker,
                         sched,
-                        client_id=f"{node_id}:{io_class.value}",
-                        period=policy.sync_period,
+                        client_id=name,
+                        period=spec.sync_period,
                         scope=io_class.value,
                     )
                 )
-
-    def _build_scheduler(self, io_class: IOClass, device: StorageDevice) -> IOScheduler:
-        policy = self.policy
-        name = f"{self.node_id}:{io_class.value}"
-        # cgroups can only see container-issued local I/Os (§6): the other
-        # classes run unmanaged exactly as on native YARN.
-        if policy.kind.startswith("cgroups") and io_class is not IOClass.INTERMEDIATE:
-            return NativeScheduler(self.sim, device, name=name)
-        if policy.kind == "native":
-            return NativeScheduler(self.sim, device, name=name)
-        if policy.kind == "sfqd":
-            return SFQDScheduler(self.sim, device, depth=policy.depth, name=name)
-        if policy.kind == "sfqd2":
-            assert policy.controller is not None
-            return SFQD2Scheduler(self.sim, device, policy.controller, name=name)
-        if policy.kind == "cgroups-weight":
-            return CgroupsWeightScheduler(self.sim, device, name=name)
-        if policy.kind == "cgroups-throttle":
-            return CgroupsThrottleScheduler(
-                self.sim, device, policy.throttle_rates, name=name
-            )
-        raise AssertionError(f"unhandled policy kind {policy.kind!r}")
 
     # ------------------------------------------------------------------ api
     def submit(self, req: IORequest) -> Event:

@@ -16,11 +16,13 @@ fraction through plain SFQ tags.
 from __future__ import annotations
 
 from collections import deque
+from typing import Optional
 
 from repro.core.base import IOScheduler
 from repro.core.request import IORequest
 from repro.simcore import Simulator
 from repro.storage import IOCompletion, StorageDevice
+from repro.telemetry import TelemetryBus
 
 __all__ = ["ReservationScheduler"]
 
@@ -36,6 +38,7 @@ class ReservationScheduler(IOScheduler):
     """
 
     algorithm = "reservation"
+    required_params = ("reservations", "nominal_rate")
 
     def __init__(
         self,
@@ -45,6 +48,7 @@ class ReservationScheduler(IOScheduler):
         nominal_rate: float,
         depth: int = 4,
         name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
     ):
         if nominal_rate <= 0:
             raise ValueError("nominal_rate must be positive")
@@ -57,7 +61,7 @@ class ReservationScheduler(IOScheduler):
             total += frac
         if total > 1.0 + 1e-9:
             raise ValueError(f"reservations sum to {total:.3f} > 1")
-        super().__init__(sim, device, name)
+        super().__init__(sim, device, name, telemetry=telemetry)
         self.reservations = dict(reservations)
         self.nominal_rate = float(nominal_rate)
         self.leftover = max(0.0, 1.0 - total)

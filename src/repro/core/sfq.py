@@ -14,11 +14,16 @@ DSFQ total-service delays through :meth:`add_start_delay` (§5).
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import IOScheduler
 from repro.core.request import IORequest
 from repro.simcore import Simulator
 from repro.storage import IOCompletion, StorageDevice
+from repro.telemetry import TelemetryBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policy import PolicySpec
 
 __all__ = ["SFQDScheduler"]
 
@@ -31,6 +36,8 @@ class SFQDScheduler(IOScheduler):
     """Proportional-share scheduler with a static dispatch depth ``D``."""
 
     algorithm = "sfq(d)"
+    aliases = ("sfqd",)
+    supports_coordination = True
 
     def __init__(
         self,
@@ -38,16 +45,22 @@ class SFQDScheduler(IOScheduler):
         device: StorageDevice,
         depth: int = 4,
         name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
     ):
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
-        super().__init__(sim, device, name)
+        super().__init__(sim, device, name, telemetry=telemetry)
         self._depth = float(depth)
         self.virtual_time = 0.0
         self._finish_tags: dict[str, float] = {}
         self._pending_delay: dict[str, float] = {}
         self._queue: list[tuple[float, int, IORequest]] = []
         self._seq = 0
+
+    @classmethod
+    def from_spec(cls, sim, device, spec: "PolicySpec", name: str = "",
+                  telemetry: Optional[TelemetryBus] = None) -> "SFQDScheduler":
+        return cls(sim, device, depth=spec.depth, name=name, telemetry=telemetry)
 
     # ------------------------------------------------------------------ api
     @property

@@ -19,10 +19,15 @@ clamped to ``[d_min, d_max]``; the integral part is the admission depth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.sfq import SFQDScheduler
 from repro.simcore import Simulator, TimeSeries
 from repro.storage import StorageDevice
+from repro.telemetry import DEPTH_CHANGED, DepthChanged, TelemetryBus, TimeSeriesSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policy import PolicySpec
 
 __all__ = ["DepthController", "SFQD2Scheduler"]
 
@@ -81,11 +86,17 @@ class DepthController:
 class SFQD2Scheduler(SFQDScheduler):
     """SFQ with the depth adapted online by :class:`DepthController`.
 
-    ``depth_series`` / ``latency_series`` record the per-period D and
-    observed average latency — the two traces of Fig. 7.
+    Every control period the scheduler publishes a ``depth_changed``
+    telemetry event carrying the updated D and the period's observed
+    average latency.  ``depth_series`` / ``latency_series`` — the two
+    traces of Fig. 7 — are plain :class:`TimeSeriesSink` views of that
+    event stream, so any other sink (a JSON trace, a live dashboard)
+    sees exactly the same data.
     """
 
     algorithm = "sfq(d2)"
+    aliases = ("sfqd2",)
+    required_params = ("controller",)
 
     def __init__(
         self,
@@ -93,13 +104,38 @@ class SFQD2Scheduler(SFQDScheduler):
         device: StorageDevice,
         controller: DepthController,
         name: str = "",
+        telemetry: Optional[TelemetryBus] = None,
     ):
-        super().__init__(sim, device, depth=int(controller.d_init), name=name)
+        super().__init__(sim, device, depth=int(controller.d_init), name=name,
+                         telemetry=telemetry)
         self.controller = controller
         self._depth = float(controller.d_init)
-        self.depth_series = TimeSeries(f"{self.name}:depth")
-        self.latency_series = TimeSeries(f"{self.name}:latency")
+        self._depth_sink = TimeSeriesSink(
+            self.telemetry, DEPTH_CHANGED, source=self.name,
+            value=lambda ev: ev.depth, name=f"{self.name}:depth",
+        )
+        self._latency_sink = TimeSeriesSink(
+            self.telemetry, DEPTH_CHANGED, source=self.name,
+            value=lambda ev: ev.latency, when=lambda ev: ev.samples > 0,
+            name=f"{self.name}:latency",
+        )
         self._tick_scheduled = False
+
+    @classmethod
+    def from_spec(cls, sim, device, spec: "PolicySpec", name: str = "",
+                  telemetry: Optional[TelemetryBus] = None) -> "SFQD2Scheduler":
+        assert spec.controller is not None  # guaranteed by spec validation
+        return cls(sim, device, spec.controller, name=name, telemetry=telemetry)
+
+    @property
+    def depth_series(self) -> TimeSeries:
+        """Per-period D (Fig. 7, top trace)."""
+        return self._depth_sink.series
+
+    @property
+    def latency_series(self) -> TimeSeries:
+        """Per-period observed average latency (Fig. 7, bottom trace)."""
+        return self._latency_sink.series
 
     def _enqueue(self, req) -> None:
         super()._enqueue(req)
@@ -117,11 +153,12 @@ class SFQD2Scheduler(SFQDScheduler):
         reads, writes = self.stats.drain_window()
         old_depth = self.depth
         self._depth = self.controller.update(self._depth, reads, writes)
-        now = self.sim.now
-        self.depth_series.record(now, self._depth)
         n = len(reads) + len(writes)
-        if n:
-            self.latency_series.record(now, (sum(reads) + sum(writes)) / n)
+        avg = (sum(reads) + sum(writes)) / n if n else 0.0
+        self.telemetry.publish(DepthChanged(
+            t=self.sim.now, source=self.name, depth=self._depth,
+            latency=avg, samples=n,
+        ))
         if self.depth > old_depth:
             self._try_dispatch()  # deeper window may admit queued requests
         if self.outstanding > 0 or self.queued > 0:

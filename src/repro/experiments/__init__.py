@@ -17,6 +17,7 @@ from repro.experiments.figures import (
     fig11_proportional_slowdown,
     fig12_coordination,
     fig13_overhead,
+    mixed_policy_ablation,
     tab2_resource_usage,
     tab3_loc,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "fig12_coordination",
     "fig13_overhead",
     "format_result",
+    "mixed_policy_ablation",
     "tab2_resource_usage",
     "tab3_loc",
 ]

@@ -28,9 +28,8 @@ from repro.config import (
     ClusterConfig,
     default_cluster,
 )
-from repro.core import IOClass, PolicySpec
+from repro.core import NodePolicy, PolicySpec
 from repro.core.metrics import relative_performance, slowdown
-from repro.core.sfqd2 import SFQD2Scheduler
 from repro.experiments.harness import (
     ExperimentResult,
     controller_for,
@@ -39,6 +38,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments.parallel import RunSpec, run_specs
 from repro.hive import run_query, tpch_q9, tpch_q21
+from repro.telemetry import DEPTH_CHANGED, TimeSeriesSink
 from repro.workloads import (
     facebook2009_trace,
     teragen,
@@ -58,6 +58,7 @@ __all__ = [
     "fig11_proportional_slowdown",
     "fig12_coordination",
     "fig13_overhead",
+    "mixed_policy_ablation",
     "tab2_resource_usage",
     "tab3_loc",
 ]
@@ -158,15 +159,24 @@ def fig3_contention(config: ClusterConfig | None = None) -> ExperimentResult:
 
 
 # --------------------------------------------------------------------- Fig 6
-def _isolation_run(config, policy, io_weight=32.0):
-    """WC (weighted) + TeraGen on the given policy; returns the WC job
-    and the cluster (for throughput accounting)."""
-    cluster = BigDataCluster(config, policy)
+def _isolation_workload(cluster: BigDataCluster, config: ClusterConfig,
+                        io_weight: float = 32.0):
+    """Submit and run WC (weighted) + TeraGen on a prepared cluster;
+    returns the WC job.  Split from :func:`_isolation_run` so callers
+    (Fig. 7) can attach telemetry sinks to ``cluster.telemetry`` first."""
     cluster.preload_input("/in/wiki", 50 * GB)
     wc = cluster.submit(wordcount(config, "/in/wiki"),
                         io_weight=io_weight, max_cores=48)
     cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
     cluster.run(wc.done)
+    return wc
+
+
+def _isolation_run(config, policy, io_weight=32.0):
+    """WC (weighted) + TeraGen on the given policy; returns the WC job
+    and the cluster (for throughput accounting)."""
+    cluster = BigDataCluster(config, policy)
+    wc = _isolation_workload(cluster, config, io_weight=io_weight)
     return wc, cluster
 
 
@@ -180,7 +190,9 @@ def _wc_alone(config: ClusterConfig) -> float:
     return wc.runtime
 
 
-def _isolation_case(config: ClusterConfig, policy: PolicySpec) -> tuple[float, float]:
+def _isolation_case(
+    config: ClusterConfig, policy: PolicySpec | NodePolicy
+) -> tuple[float, float]:
     """One WC+TG isolation run -> (wc runtime, aggregate MB/s)."""
     wc, cluster = _isolation_run(config, policy)
     return wc.runtime, total_throughput_mbs(cluster, wc.finish_time)
@@ -216,28 +228,42 @@ def fig6_isolation_hdd(config: ClusterConfig | None = None) -> ExperimentResult:
 # --------------------------------------------------------------------- Fig 7
 def fig7_depth_adaptation(config: ClusterConfig | None = None) -> ExperimentResult:
     """The SFQ(D2) controller's D and observed latency over time on one
-    datanode during the WC+TG isolation run (flush storms included)."""
+    datanode during the WC+TG isolation run (flush storms included).
+
+    Observed purely over the cluster's telemetry bus: the scheduler at
+    ``dn00:persistent`` publishes one ``depth_changed`` event per control
+    period, and two :class:`TimeSeriesSink` subscriptions reconstruct
+    the paper's D and latency traces — no scheduler internals touched.
+    """
     config = config or default_cluster()
     result = ExperimentResult("fig7_depth_adaptation")
     ctrl = controller_for(config)
-    _wc, cluster = _isolation_run(config, PolicySpec.sfqd2(ctrl))
-    sched = cluster.nodes["dn00"].schedulers[IOClass.PERSISTENT]
-    assert isinstance(sched, SFQD2Scheduler)
-    result.series["depth"] = (list(sched.depth_series.times),
-                              list(sched.depth_series.values))
-    result.series["latency_ms"] = (
-        list(sched.latency_series.times),
-        [v * 1000.0 for v in sched.latency_series.values],
+    cluster = BigDataCluster(config, PolicySpec.sfqd2(ctrl))
+    depth_sink = TimeSeriesSink(
+        cluster.telemetry, DEPTH_CHANGED, source="dn00:persistent",
+        value=lambda ev: ev.depth, name="fig7:depth",
     )
-    d_vals = sched.depth_series.values
+    latency_sink = TimeSeriesSink(
+        cluster.telemetry, DEPTH_CHANGED, source="dn00:persistent",
+        value=lambda ev: ev.latency, when=lambda ev: ev.samples > 0,
+        name="fig7:latency",
+    )
+    _isolation_workload(cluster, config)
+    depth, latency = depth_sink.series, latency_sink.series
+    result.series["depth"] = (list(depth.times), list(depth.values))
+    result.series["latency_ms"] = (
+        list(latency.times),
+        [v * 1000.0 for v in latency.values],
+    )
+    d_vals = depth.values
     result.row(
         samples=len(d_vals),
         d_min=float(min(d_vals)),
         d_max=float(max(d_vals)),
         d_mean=float(np.mean(d_vals)),
         lref_ms=ctrl.ref_latency_read * 1000.0,
-        latency_p95_ms=float(np.percentile(sched.latency_series.values, 95)) * 1000.0
-        if len(sched.latency_series) else None,
+        latency_p95_ms=float(np.percentile(latency.values, 95)) * 1000.0
+        if len(latency) else None,
     )
     return result
 
@@ -268,6 +294,54 @@ def fig8_isolation_ssd(config: ClusterConfig | None = None) -> ExperimentResult:
         f"SSD split references: read {ctrl.ref_latency_read * 1000:.1f} ms, "
         f"write {ctrl.ref_latency_write * 1000:.1f} ms"
     )
+    return result
+
+
+# ------------------------------------------------------- mixed NodePolicy
+def mixed_policy_ablation(config: ClusterConfig | None = None) -> ExperimentResult:
+    """Which interposition point needs managed I/O?  (NodePolicy ablation.)
+
+    The WC+TG isolation study (Fig. 6's setup, 32:1 in favour of WC)
+    with IBIS attached to *subsets* of a node's scheduling points via
+    per-class :class:`NodePolicy` — something the paper's architecture
+    enables (§3) but its evaluation only exercises uniformly:
+
+    * ``native``            — no management anywhere (the §2.3 baseline);
+    * ``ibis-persistent``   — SFQ(D2) on the HDFS path only;
+    * ``ibis-intermediate`` — SFQ(D2) on the spill + shuffle paths only;
+    * ``ibis-uniform``      — the paper's configuration, all three points.
+
+    WC vs TeraGen contention is dominated by the HDFS disk (TG writes
+    replicated output blocks), so managing PERSISTENT alone should
+    recover most of the isolation and INTERMEDIATE alone very little.
+    """
+    config = config or default_cluster()
+    result = ExperimentResult("mixed_policy_ablation")
+    ctrl = controller_for(config)
+    ibis = PolicySpec.sfqd2(ctrl)
+    nat = PolicySpec.native()
+    cases = [
+        ("native", NodePolicy.uniform(nat)),
+        ("ibis-persistent",
+         NodePolicy(persistent=ibis, intermediate=nat, network=nat)),
+        ("ibis-intermediate",
+         NodePolicy(persistent=nat, intermediate=ibis, network=ibis)),
+        ("ibis-uniform", NodePolicy.uniform(ibis)),
+    ]
+
+    specs = [RunSpec.of(_wc_alone, config, label="mixed:wc_alone")]
+    specs += [RunSpec.of(_isolation_case, config, policy,
+                         label=f"mixed:{label}") for label, policy in cases]
+    outcomes = run_specs(specs)
+
+    standalone = outcomes[0]
+    result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
+               throughput_mbs=None, policy=None)
+    for (label, policy), (runtime, thr) in zip(cases, outcomes[1:]):
+        result.row(case=label, runtime=runtime,
+                   slowdown=slowdown(runtime, standalone),
+                   throughput_mbs=thr,
+                   policy=policy.to_json())
     return result
 
 

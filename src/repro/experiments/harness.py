@@ -13,10 +13,11 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.cluster import BigDataCluster
-from repro.config import MB, ClusterConfig, StorageProfile, default_cluster
-from repro.core import DepthController, PolicySpec
+from repro.config import MB, ClusterConfig
+from repro.core import DepthController, NodePolicy, PolicySpec, canonical_json
 from repro.core.profiling import calibrate_controller
 from repro.mapreduce import Job, JobSpec
+from repro.telemetry import JsonLinesTraceSink
 
 __all__ = [
     "ExperimentResult",
@@ -73,14 +74,13 @@ def calibration_cache_dir() -> pathlib.Path:
 
 
 def _calibration_path(config: ClusterConfig, kwargs: dict) -> pathlib.Path:
-    payload = json.dumps(
+    payload = canonical_json(
         {
             "version": _CALIBRATION_VERSION,
             "storage": dataclasses.asdict(config.storage),
             "io_chunk": config.io_chunk,
             "kwargs": kwargs,
-        },
-        sort_keys=True,
+        }
     )
     digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
     return calibration_cache_dir() / f"calib-{config.storage.name}-{digest}.json"
@@ -130,18 +130,29 @@ def controller_for(config: ClusterConfig, **kwargs) -> DepthController:
 
 def run_single_job(
     config: ClusterConfig,
-    policy: PolicySpec,
+    policy: "PolicySpec | NodePolicy",
     spec: JobSpec,
     preloads: dict[str, float],
     max_cores: Optional[int] = None,
     io_weight: float = 1.0,
+    trace_path: Optional[pathlib.Path] = None,
 ) -> tuple[Job, BigDataCluster]:
-    """Run one job to completion on a fresh cluster."""
+    """Run one job to completion on a fresh cluster.
+
+    With ``trace_path`` set, every telemetry event of the run is
+    exported as one JSON line (see :mod:`repro.telemetry.trace`).
+    """
     cluster = BigDataCluster(config, policy)
     for path, size in preloads.items():
         cluster.preload_input(path, size)
-    job = cluster.submit(spec, io_weight=io_weight, max_cores=max_cores)
-    cluster.run()
+    trace = (JsonLinesTraceSink(cluster.telemetry, trace_path)
+             if trace_path is not None else None)
+    try:
+        job = cluster.submit(spec, io_weight=io_weight, max_cores=max_cores)
+        cluster.run()
+    finally:
+        if trace is not None:
+            trace.close()
     return job, cluster
 
 
@@ -149,9 +160,4 @@ def total_throughput_mbs(cluster: BigDataCluster, t_end: float) -> float:
     """Aggregate storage throughput (MB/s) over [0, t_end) — Fig. 6b/8b."""
     if t_end <= 0:
         raise ValueError("t_end must be positive")
-    total = 0.0
-    for node in cluster.nodes.values():
-        for dev in (node.hdfs_device, node.tmp_device):
-            total += dev.read_meter.window_total(0.0, t_end)
-            total += dev.write_meter.window_total(0.0, t_end)
-    return total / t_end / MB
+    return cluster.windowed_throughput(0.0, t_end) / MB

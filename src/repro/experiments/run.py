@@ -54,6 +54,8 @@ EXPERIMENTS = {
     "fig11": (figures.fig11_proportional_slowdown, "proportional slowdown"),
     "fig12": (figures.fig12_coordination, "broker coordination on/off"),
     "fig13": (figures.fig13_overhead, "IBIS overhead"),
+    "mixed": (figures.mixed_policy_ablation,
+              "per-class NodePolicy ablation (which point needs IBIS?)"),
     "tab2": (figures.tab2_resource_usage, "daemon resource usage"),
     "tab3": (figures.tab3_loc, "component development cost"),
 }

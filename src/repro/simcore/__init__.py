@@ -34,4 +34,5 @@ __all__ = [
     "Simulator",
     "Store",
     "TimeSeries",
+    "Timeout",
 ]

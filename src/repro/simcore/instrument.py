@@ -108,11 +108,16 @@ class RateMeter:
         end = t_end if t_end is not None else self.times[-1] + bucket
         n_buckets = max(1, int(np.ceil(end / bucket)))
         sums = np.zeros(n_buckets)
-        for t, a in zip(self.times, self.amounts):
-            idx = min(int(t / bucket), n_buckets - 1)
-            sums[idx] += a
-        for i in range(n_buckets):
-            out.record(i * bucket, sums[i] / bucket)
+        if self.times:
+            idx = np.minimum(
+                (np.asarray(self.times, dtype=float) / bucket).astype(np.int64),
+                n_buckets - 1,
+            )
+            # np.add.at is unbuffered and applies in index order, so the
+            # float accumulation is bit-identical to a sequential loop.
+            np.add.at(sums, idx, np.asarray(self.amounts, dtype=float))
+        out.times = (np.arange(n_buckets, dtype=float) * bucket).tolist()
+        out.values = (sums / bucket).tolist()
         return out
 
     def window_total(self, t0: float, t1: float) -> float:

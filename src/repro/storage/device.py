@@ -38,7 +38,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import StorageProfile
-from repro.simcore import Event, RateMeter, Simulator, TimeSeries
+from repro.simcore import Event, RateMeter, Simulator
+from repro.telemetry import FLUSH_SPIKE, FlushSpike, TelemetryBus
 
 __all__ = ["IOCompletion", "StorageDevice"]
 
@@ -73,11 +74,12 @@ class StorageDevice:
         sim: Simulator,
         profile: StorageProfile,
         name: str = "disk",
-        record_latency: bool = False,
+        telemetry: Optional[TelemetryBus] = None,
     ):
         self.sim = sim
         self.profile = profile
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
 
         self._v = 0.0                 # virtual work time (per-request progress)
         self._v_updated = sim.now     # wall time of last _v update
@@ -97,12 +99,10 @@ class StorageDevice:
         self._tick_pool: list[Event] = []
         self._io_name = {"read": f"io:{name}:read", "write": f"io:{name}:write"}
 
-        # Instrumentation
+        # Instrumentation (per-request latencies travel as telemetry: the
+        # interposed scheduler publishes them in ``request_completed``).
         self.read_meter = RateMeter(f"{name}:read")
         self.write_meter = RateMeter(f"{name}:write")
-        self.latency_series: Optional[TimeSeries] = (
-            TimeSeries(f"{name}:latency") if record_latency else None
-        )
         self.completed_requests = 0
 
     # ------------------------------------------------------------------ api
@@ -228,8 +228,6 @@ class StorageDevice:
             done = IOCompletion(entry.op, entry.nbytes, latency)
             meter = self.read_meter if entry.op == "read" else self.write_meter
             meter.add(now, entry.nbytes)
-            if self.latency_series is not None:
-                self.latency_series.record(now, latency)
             self.completed_requests += 1
             entry.event.succeed(done)
         self._reschedule()
@@ -250,6 +248,11 @@ class StorageDevice:
             # Rate just dropped: virtual time must advance at the new rate.
             self._reschedule()
         end = self._storm_until
+        if self.telemetry.publishes(FLUSH_SPIKE):
+            self.telemetry.publish(FlushSpike(
+                t=now, source=self.name, until=end,
+                factor=self.profile.flush_factor,
+            ))
         self.sim.call_at(end, self._on_storm_boundary)
 
     def _on_storm_boundary(self) -> None:

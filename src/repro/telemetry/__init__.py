@@ -1,0 +1,75 @@
+"""Unified telemetry plane: event bus, structured events, pluggable sinks.
+
+The observability side of the interposition refactor: schedulers,
+devices, the SFQ(D2) controller and the Scheduling Broker *publish*
+structured events onto one :class:`TelemetryBus` per cluster, and
+everything that used to poke component internals — per-app service
+accounting, throughput meters, the Fig. 7 depth/latency traces, the
+JSON trace export — is a *sink* subscribed to it.
+
+* :mod:`repro.telemetry.events` — the event vocabulary
+  (``request_submitted/dispatched/completed``, ``depth_changed``,
+  ``broker_sync``, ``flush_spike``).
+* :mod:`repro.telemetry.bus` — scoped publish/subscribe dispatch.
+* :mod:`repro.telemetry.sinks` — rate meters, latency windows,
+  time-series recorders, counters.
+* :mod:`repro.telemetry.trace` — JSON-lines export + trace schema.
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import (
+    BROKER_SYNC,
+    DEPTH_CHANGED,
+    EVENT_KINDS,
+    FLUSH_SPIKE,
+    REQUEST_COMPLETED,
+    REQUEST_DISPATCHED,
+    REQUEST_SUBMITTED,
+    BrokerSync,
+    DepthChanged,
+    FlushSpike,
+    RequestCompleted,
+    RequestDispatched,
+    RequestSubmitted,
+    event_record,
+)
+from repro.telemetry.sinks import (
+    AppRateMeterSink,
+    CounterSink,
+    LatencyWindowSink,
+    TimeSeriesSink,
+)
+from repro.telemetry.trace import (
+    TRACE_SCHEMA,
+    JsonLinesTraceSink,
+    validate_trace_file,
+    validate_trace_line,
+    validate_trace_record,
+)
+
+__all__ = [
+    "BROKER_SYNC",
+    "DEPTH_CHANGED",
+    "EVENT_KINDS",
+    "FLUSH_SPIKE",
+    "REQUEST_COMPLETED",
+    "REQUEST_DISPATCHED",
+    "REQUEST_SUBMITTED",
+    "AppRateMeterSink",
+    "BrokerSync",
+    "CounterSink",
+    "DepthChanged",
+    "FlushSpike",
+    "JsonLinesTraceSink",
+    "LatencyWindowSink",
+    "RequestCompleted",
+    "RequestDispatched",
+    "RequestSubmitted",
+    "TRACE_SCHEMA",
+    "TelemetryBus",
+    "TimeSeriesSink",
+    "event_record",
+    "validate_trace_file",
+    "validate_trace_line",
+    "validate_trace_record",
+]

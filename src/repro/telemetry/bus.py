@@ -1,0 +1,80 @@
+"""The telemetry event bus.
+
+One bus serves a whole cluster: every scheduler, device and the broker
+publish onto it, and any number of sinks subscribe.  Subscriptions are
+keyed by event kind and optionally *scoped* to one source, so a
+per-scheduler accumulator pays nothing for the other 23 schedulers'
+events, and a trace sink can watch everything.
+
+The bus sits on the simulation's hot path (one ``request_completed``
+per I/O), so dispatch is two dict lookups and publication of the
+optional event kinds is guarded by :meth:`TelemetryBus.publishes` —
+producers skip even constructing an event nobody listens for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["TelemetryBus"]
+
+Subscriber = Callable[[Any], None]
+
+
+class TelemetryBus:
+    """Publish/subscribe hub for telemetry events.
+
+    Subscribers for a ``(kind, source)`` pair run before wildcard
+    ``(kind, None)`` subscribers, in subscription order — so a
+    component's own accounting sink observes an event before any
+    cluster-wide exporter does.
+    """
+
+    __slots__ = ("_subs", "_kind_counts")
+
+    def __init__(self) -> None:
+        self._subs: dict[tuple[str, Optional[str]], list[Subscriber]] = {}
+        self._kind_counts: dict[str, int] = {}
+
+    def subscribe(
+        self, kind: str, fn: Subscriber, source: Optional[str] = None
+    ) -> Subscriber:
+        """Register ``fn`` for events of ``kind`` (from ``source`` only,
+        or from every source when ``source`` is None).  Returns ``fn``."""
+        self._subs.setdefault((kind, source), []).append(fn)
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        return fn
+
+    def unsubscribe(
+        self, kind: str, fn: Subscriber, source: Optional[str] = None
+    ) -> None:
+        subs = self._subs.get((kind, source))
+        if not subs or fn not in subs:
+            raise ValueError(f"no such subscriber for {kind!r}/{source!r}")
+        subs.remove(fn)
+        if not subs:
+            del self._subs[(kind, source)]
+        remaining = self._kind_counts[kind] - 1
+        if remaining:
+            self._kind_counts[kind] = remaining
+        else:
+            del self._kind_counts[kind]
+
+    def publishes(self, kind: str) -> bool:
+        """True if any subscriber (scoped or wildcard) wants ``kind``.
+
+        Producers use this to skip building optional events entirely.
+        """
+        return kind in self._kind_counts
+
+    def publish(self, ev: Any) -> None:
+        """Deliver one event to its scoped, then wildcard, subscribers."""
+        subs = self._subs
+        scoped = subs.get((ev.kind, ev.source))
+        if scoped:
+            for fn in scoped:
+                fn(ev)
+        wild = subs.get((ev.kind, None))
+        if wild:
+            for fn in wild:
+                fn(ev)

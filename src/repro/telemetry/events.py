@@ -1,0 +1,145 @@
+"""Structured telemetry event types.
+
+Every observable moment of the scheduling plane is one of these frozen,
+slotted records: the three phases of a request's life at an interposed
+scheduler, the SFQ(D2) controller's depth decisions, the Scheduling
+Broker's coordination exchanges, and the storage device's write-back
+flush storms.  Producers publish them on a :class:`~repro.telemetry.bus.
+TelemetryBus`; sinks (rate meters, latency windows, JSON traces,
+counters) consume them without reaching into producer internals.
+
+``source`` is the publishing component's name (e.g. ``dn00:persistent``
+for a scheduler, ``dn00:hdfs`` for a device) — scoped subscriptions key
+on it.  Times are simulation seconds; ``io_class`` and ``op`` are the
+string values so events serialize directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+__all__ = [
+    "BROKER_SYNC",
+    "DEPTH_CHANGED",
+    "EVENT_KINDS",
+    "FLUSH_SPIKE",
+    "REQUEST_COMPLETED",
+    "REQUEST_DISPATCHED",
+    "REQUEST_SUBMITTED",
+    "BrokerSync",
+    "DepthChanged",
+    "FlushSpike",
+    "RequestCompleted",
+    "RequestDispatched",
+    "RequestSubmitted",
+    "event_record",
+]
+
+REQUEST_SUBMITTED = "request_submitted"
+REQUEST_DISPATCHED = "request_dispatched"
+REQUEST_COMPLETED = "request_completed"
+DEPTH_CHANGED = "depth_changed"
+BROKER_SYNC = "broker_sync"
+FLUSH_SPIKE = "flush_spike"
+
+
+@dataclass(frozen=True, slots=True)
+class RequestSubmitted:
+    """A tagged request was accepted by an interposed scheduler."""
+
+    kind: ClassVar[str] = REQUEST_SUBMITTED
+    t: float
+    source: str
+    app_id: str
+    op: str
+    nbytes: int
+    io_class: str
+    queued: int          # scheduler queue length just before this request
+
+
+@dataclass(frozen=True, slots=True)
+class RequestDispatched:
+    """A queued request was admitted to the storage device."""
+
+    kind: ClassVar[str] = REQUEST_DISPATCHED
+    t: float
+    source: str
+    app_id: str
+    op: str
+    nbytes: int
+    io_class: str
+    wait: float          # seconds spent queued at the scheduler
+
+
+@dataclass(frozen=True, slots=True)
+class RequestCompleted:
+    """The device finished servicing a request."""
+
+    kind: ClassVar[str] = REQUEST_COMPLETED
+    t: float
+    source: str
+    app_id: str
+    op: str
+    nbytes: int
+    io_class: str
+    latency: float       # dispatch -> completion, seconds
+    weight: float        # the app's I/O share weight on this request
+
+
+@dataclass(frozen=True, slots=True)
+class DepthChanged:
+    """One SFQ(D2) control period elapsed (Eq. 1 step)."""
+
+    kind: ClassVar[str] = DEPTH_CHANGED
+    t: float
+    source: str
+    depth: float         # the (float) depth after the update
+    latency: float       # mean observed latency this period (0.0 if idle)
+    samples: int         # completions observed this period
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerSync:
+    """One coordination round-trip between a local scheduler and the broker."""
+
+    kind: ClassVar[str] = BROKER_SYNC
+    t: float
+    source: str          # the reporting client's id
+    scope: str           # I/O service type the exchange covers
+    apps: int            # entries in the reported service vector
+    message_bytes: int   # modelled wire size of the exchange
+
+
+@dataclass(frozen=True, slots=True)
+class FlushSpike:
+    """A storage device entered a write-back flush storm (Fig. 7 spikes)."""
+
+    kind: ClassVar[str] = FLUSH_SPIKE
+    t: float
+    source: str          # device name
+    until: float         # storm end time
+    factor: float        # rate multiplier during the storm
+
+    @property
+    def duration(self) -> float:
+        return self.until - self.t
+
+
+EVENT_KINDS: tuple[str, ...] = (
+    REQUEST_SUBMITTED,
+    REQUEST_DISPATCHED,
+    REQUEST_COMPLETED,
+    DEPTH_CHANGED,
+    BROKER_SYNC,
+    FLUSH_SPIKE,
+)
+
+
+def event_record(ev: Any) -> dict[str, Any]:
+    """Flatten an event into a JSON-ready dict (``kind`` + its fields)."""
+    rec: dict[str, Any] = {"kind": ev.kind}
+    for f in dataclasses.fields(ev):
+        rec[f.name] = getattr(ev, f.name)
+    return rec

@@ -1,0 +1,130 @@
+"""Pluggable telemetry sinks.
+
+Each sink subscribes itself to a :class:`~repro.telemetry.bus.
+TelemetryBus` at construction and accumulates a particular view of the
+event stream.  They are the building blocks the figures and the
+schedulers' own accounting are assembled from — nothing reads another
+component's internals any more, it reads (or attaches) a sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simcore.instrument import RateMeter, TimeSeries
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import REQUEST_COMPLETED
+
+__all__ = [
+    "AppRateMeterSink",
+    "CounterSink",
+    "LatencyWindowSink",
+    "TimeSeriesSink",
+]
+
+
+class TimeSeriesSink:
+    """Record ``(t, value(event))`` into a :class:`TimeSeries`.
+
+    ``value`` extracts the plotted number from each event; ``when``
+    optionally filters events (e.g. keep only periods with samples).
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        kind: str,
+        value: Callable[[Any], float],
+        source: Optional[str] = None,
+        when: Optional[Callable[[Any], bool]] = None,
+        name: str = "",
+    ):
+        self.series = TimeSeries(name or f"{kind}:{source or '*'}")
+        self._value = value
+        self._when = when
+        bus.subscribe(kind, self._on_event, source=source)
+
+    def _on_event(self, ev: Any) -> None:
+        if self._when is None or self._when(ev):
+            self.series.record(ev.t, self._value(ev))
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class CounterSink:
+    """Count events of one kind and sum an optional numeric field."""
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        kind: str,
+        source: Optional[str] = None,
+        amount: Optional[Callable[[Any], float]] = None,
+        name: str = "",
+    ):
+        self.name = name or kind
+        self.count = 0
+        self.total = 0.0
+        self._amount = amount
+        bus.subscribe(kind, self._on_event, source=source)
+
+    def _on_event(self, ev: Any) -> None:
+        self.count += 1
+        if self._amount is not None:
+            self.total += self._amount(ev)
+
+
+class AppRateMeterSink:
+    """Per-application completed-bytes meters (throughput figures).
+
+    Subscribes to ``request_completed`` — scoped to one scheduler, or
+    wildcard for a cluster-wide per-app view.
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        source: Optional[str] = None,
+        name: str = "",
+    ):
+        self.name = name or (source or "cluster")
+        self.meter_by_app: dict[str, RateMeter] = {}
+        bus.subscribe(REQUEST_COMPLETED, self._on_completed, source=source)
+
+    def _on_completed(self, ev: Any) -> None:
+        meter = self.meter_by_app.get(ev.app_id)
+        if meter is None:
+            meter = self.meter_by_app[ev.app_id] = RateMeter(
+                f"{self.name}:{ev.app_id}"
+            )
+        meter.add(ev.t, ev.nbytes)
+
+    def meter(self, app_id: str) -> Optional[RateMeter]:
+        return self.meter_by_app.get(app_id)
+
+
+class LatencyWindowSink:
+    """Device latencies since the last drain, split by op.
+
+    This is the observation window of the SFQ(D2) controller (§4): each
+    control period it drains the completions observed since its last
+    tick.
+    """
+
+    def __init__(self, bus: TelemetryBus, source: Optional[str] = None):
+        self.window_read_latencies: list[float] = []
+        self.window_write_latencies: list[float] = []
+        bus.subscribe(REQUEST_COMPLETED, self._on_completed, source=source)
+
+    def _on_completed(self, ev: Any) -> None:
+        if ev.op == "read":
+            self.window_read_latencies.append(ev.latency)
+        else:
+            self.window_write_latencies.append(ev.latency)
+
+    def drain(self) -> tuple[list[float], list[float]]:
+        """Return and reset the (reads, writes) latency window."""
+        reads, self.window_read_latencies = self.window_read_latencies, []
+        writes, self.window_write_latencies = self.window_write_latencies, []
+        return reads, writes

@@ -9,7 +9,7 @@ here lets the same ramp be driven through the full MapReduce stack.
 
 from __future__ import annotations
 
-from repro.config import ClusterConfig, GB
+from repro.config import ClusterConfig
 from repro.mapreduce import JobSpec
 
 __all__ = ["io_ramp_job"]

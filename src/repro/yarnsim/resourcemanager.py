@@ -10,7 +10,7 @@ Fair Scheduler with preemption for the short tasks of this workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.simcore import Event, SimulationError, Simulator

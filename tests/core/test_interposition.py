@@ -12,7 +12,6 @@ from repro.core import (
     NativeScheduler,
     PolicySpec,
     SchedulingBroker,
-    SFQDScheduler,
     SFQD2Scheduler,
 )
 from repro.core.cgroups import CgroupsThrottleScheduler, CgroupsWeightScheduler

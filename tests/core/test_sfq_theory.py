@@ -6,7 +6,6 @@ SFQ(D) relaxes the bound by the dispatch depth.  These tests check the
 bound against the implementation over randomized workloads.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig6_isolation_hdd,
     fig9_facebook,
     fig13_overhead,
+    mixed_policy_ablation,
     tab3_loc,
 )
 
@@ -62,6 +63,25 @@ def test_fig13_schema():
                                               "terasort"}
     for row in r.rows:
         assert row["native"] > 0 and row["ibis"] > 0
+
+
+def test_mixed_policy_ablation_schema():
+    r = mixed_policy_ablation(TINY)
+    cases = [row["case"] for row in r.rows]
+    assert cases == ["wc_alone", "native", "ibis-persistent",
+                     "ibis-intermediate", "ibis-uniform"]
+    # Each managed case records its NodePolicy in canonical JSON.
+    from repro.core import NodePolicy
+    for row in r.rows[1:]:
+        policy = NodePolicy.from_json(row["policy"])
+        assert policy.to_json() == row["policy"]
+    # WC vs TG contention lives on the HDFS disk: managing PERSISTENT
+    # alone must recover (at least) the isolation of uniform IBIS, and
+    # managing only the intermediate paths must not help native at all.
+    sd = {row["case"]: row["slowdown"] for row in r.rows}
+    assert sd["ibis-persistent"] <= sd["ibis-uniform"] + 1e-9
+    assert sd["ibis-uniform"] < sd["native"]
+    assert sd["ibis-intermediate"] == pytest.approx(sd["native"])
 
 
 def test_tab3_counts_real_files():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import MB, StorageProfile, default_cluster
+from repro.config import MB, default_cluster
 from repro.core import DataNodeIO, IOClass, IOTag, PolicySpec
 from repro.hdfs.blocks import Block, BlockLocations
 from repro.hdfs.datanode import BlockService, iter_chunks, windowed_stream

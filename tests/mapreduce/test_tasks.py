@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import BigDataCluster
 from repro.config import GB, MB, default_cluster
-from repro.core import IOClass, PolicySpec
+from repro.core import PolicySpec
 from repro.mapreduce import JobSpec
 
 

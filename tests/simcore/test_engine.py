@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simcore import Event, Interrupt, SimulationError, Simulator
+from repro.simcore import Interrupt, SimulationError, Simulator
 
 
 def test_timeout_advances_clock():

@@ -5,6 +5,7 @@ import pytest
 from repro.config import MB, StorageProfile
 from repro.simcore import Simulator
 from repro.storage import StorageDevice
+from repro.telemetry import FLUSH_SPIKE, TelemetryBus
 
 # A deliberately simple profile: no overhead, no knee, no storms —
 # W(n) = 100 MB/s flat, so analytic latencies are exact.
@@ -187,13 +188,35 @@ def test_storm_inactive_when_threshold_disabled():
     assert not dev.in_storm
 
 
-def test_latency_series_optional_recording():
+def test_flush_spike_published_on_telemetry_bus():
+    prof = StorageProfile(
+        name="storm",
+        peak_rate=100.0 * MB,
+        n_half=0.0,
+        flush_threshold=50.0 * MB,
+        flush_duration=2.0,
+        flush_factor=0.5,
+    )
     sim = Simulator()
-    dev = StorageDevice(sim, FLAT, record_latency=True)
-    _run_io(sim, dev, "read", 10 * MB)
+    bus = TelemetryBus()
+    spikes = []
+    bus.subscribe(FLUSH_SPIKE, spikes.append, source="flushy")
+    dev = StorageDevice(sim, prof, name="flushy", telemetry=bus)
+    _run_io(sim, dev, "write", 50 * MB)
     sim.run()
-    assert len(dev.latency_series) == 1
-    assert dev.latency_series.values[0] == pytest.approx(0.1)
+    assert len(spikes) == 1
+    (spike,) = spikes
+    assert spike.source == "flushy"
+    assert spike.until == pytest.approx(spike.t + 2.0)
+    assert spike.factor == pytest.approx(0.5)
+
+
+def test_no_flush_spike_without_subscriber_or_threshold():
+    sim = Simulator()
+    dev = StorageDevice(sim, FLAT)  # default bus, nobody listening
+    _run_io(sim, dev, "write", 500 * MB)
+    sim.run()
+    assert not dev.telemetry.publishes(FLUSH_SPIKE)
 
 
 def test_many_concurrent_requests_complete_and_conserve_work():

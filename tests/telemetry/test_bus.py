@@ -1,0 +1,71 @@
+"""TelemetryBus semantics: scoping, ordering, the publishes() guard."""
+
+import pytest
+
+from repro.telemetry import (
+    REQUEST_COMPLETED,
+    REQUEST_SUBMITTED,
+    RequestCompleted,
+    TelemetryBus,
+)
+
+
+def _completed(source="s0", t=1.0):
+    return RequestCompleted(t=t, source=source, app_id="a", op="read",
+                            nbytes=1024, io_class="persistent",
+                            latency=0.01, weight=1.0)
+
+
+def test_scoped_subscription_filters_by_source():
+    bus = TelemetryBus()
+    got = []
+    bus.subscribe(REQUEST_COMPLETED, got.append, source="s0")
+    bus.publish(_completed("s0"))
+    bus.publish(_completed("s1"))
+    assert [ev.source for ev in got] == ["s0"]
+
+
+def test_wildcard_subscription_sees_every_source():
+    bus = TelemetryBus()
+    got = []
+    bus.subscribe(REQUEST_COMPLETED, got.append)  # source=None
+    bus.publish(_completed("s0"))
+    bus.publish(_completed("s1"))
+    assert [ev.source for ev in got] == ["s0", "s1"]
+
+
+def test_scoped_runs_before_wildcard_in_subscription_order():
+    bus = TelemetryBus()
+    order = []
+    bus.subscribe(REQUEST_COMPLETED, lambda ev: order.append("wild1"))
+    bus.subscribe(REQUEST_COMPLETED, lambda ev: order.append("scoped1"),
+                  source="s0")
+    bus.subscribe(REQUEST_COMPLETED, lambda ev: order.append("wild2"))
+    bus.subscribe(REQUEST_COMPLETED, lambda ev: order.append("scoped2"),
+                  source="s0")
+    bus.publish(_completed("s0"))
+    assert order == ["scoped1", "scoped2", "wild1", "wild2"]
+
+
+def test_publishes_guard_tracks_scoped_and_wildcard():
+    bus = TelemetryBus()
+    assert not bus.publishes(REQUEST_COMPLETED)
+    fn = bus.subscribe(REQUEST_COMPLETED, lambda ev: None, source="s0")
+    assert bus.publishes(REQUEST_COMPLETED)
+    assert not bus.publishes(REQUEST_SUBMITTED)
+    bus.unsubscribe(REQUEST_COMPLETED, fn, source="s0")
+    assert not bus.publishes(REQUEST_COMPLETED)
+
+
+def test_unsubscribe_unknown_raises():
+    bus = TelemetryBus()
+    with pytest.raises(ValueError):
+        bus.unsubscribe(REQUEST_COMPLETED, lambda ev: None)
+
+
+def test_unrelated_kind_and_source_pay_nothing():
+    bus = TelemetryBus()
+    got = []
+    bus.subscribe(REQUEST_SUBMITTED, got.append, source="elsewhere")
+    bus.publish(_completed("s0"))  # no subscriber for this kind/source
+    assert got == []

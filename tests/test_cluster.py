@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     GB,
-    MB,
     BigDataCluster,
     IOClass,
     PolicySpec,

@@ -7,7 +7,6 @@ import pytest
 from repro.config import (
     GB,
     HDD_PROFILE,
-    MB,
     SSD_PROFILE,
     ClusterConfig,
     StorageProfile,
