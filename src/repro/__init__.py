@@ -28,6 +28,7 @@ from repro.config import (
     default_cluster,
 )
 from repro.core import DepthController, IOClass, IOTag, NodePolicy, PolicySpec
+from repro.faults import FaultEvent, FaultPlan
 from repro.mapreduce import JobSpec
 
 __version__ = "1.0.0"
@@ -36,6 +37,8 @@ __all__ = [
     "BigDataCluster",
     "ClusterConfig",
     "DepthController",
+    "FaultEvent",
+    "FaultPlan",
     "GB",
     "HDD_PROFILE",
     "IOClass",

@@ -33,6 +33,7 @@ from repro.core import (
     SchedulingBroker,
 )
 from repro.core.metrics import aggregate_service
+from repro.faults import FaultInjector, FaultPlan
 from repro.hdfs import DFSClient, NameNode
 from repro.hdfs.datanode import BlockService
 from repro.localfs import LocalFS
@@ -50,6 +51,7 @@ class BigDataCluster:
         self,
         config: ClusterConfig,
         policy: Union[PolicySpec, NodePolicy],
+        faults: Optional[FaultPlan] = None,
     ):
         self.config = config
         self.policy = NodePolicy.coerce(policy)
@@ -86,6 +88,7 @@ class BigDataCluster:
             config.io_chunk,
             read_window=config.read_window,
             write_window=config.write_window,
+            telemetry=self.telemetry,
         )
         self.dfs = DFSClient(self.sim, self.namenode, self.block_service)
         self.localfs = {
@@ -112,8 +115,18 @@ class BigDataCluster:
             localfs=self.localfs,
             net=self.net,
             rng=self.rng.stream("task-jitter"),
+            telemetry=self.telemetry,
         )
         self.jobs: list[Job] = []
+
+        # Fault injection: only armed when a plan is supplied; a healthy
+        # run never touches any of the fault machinery.
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None:
+            self.faults = FaultInjector(self, faults)
+            self.block_service.enable_failover(faults, self.faults)
+            self.env.faults = self.faults
+            self.faults.arm()
 
     # ------------------------------------------------------------------ api
     def preload_input(self, path: str, nbytes: int, nodes=None) -> None:
@@ -163,7 +176,7 @@ class BigDataCluster:
         because multi-stage applications (Hive) submit jobs progressively.
         """
         if events:
-            self.sim.run(until=self.sim.all_of(list(events)))
+            self._run_sim(self.sim.all_of(list(events)))
             return
         if not self.jobs:
             raise SimulationError("no jobs submitted")
@@ -171,11 +184,27 @@ class BigDataCluster:
             unfinished = [j.done for j in self.jobs if j.finish_time is None]
             if not unfinished:
                 return
-            self.sim.run(until=self.sim.all_of(unfinished))
+            self._run_sim(self.sim.all_of(unfinished))
 
     def run_for(self, duration: float) -> None:
         """Run for a fixed window (used for throughput profiles)."""
-        self.sim.run(until=duration)
+        self._run_sim(duration)
+
+    def _run_sim(self, until) -> None:
+        """Run the engine, converting a task-process death into a
+        :class:`SimulationError` naming the process — instead of the
+        raw exception escaping with the job counter stuck and the next
+        ``run()`` pass spinning to the horizon."""
+        try:
+            self.sim.run(until=until)
+        except SimulationError:
+            raise
+        except Exception as exc:
+            name = getattr(exc, "sim_process", None)
+            who = f"process {name!r}" if name else "a simulation process"
+            raise SimulationError(
+                f"{who} died with {type(exc).__name__}: {exc}"
+            ) from exc
 
     # -------------------------------------------------------------- results
     def total_service_by_app(self) -> dict[str, float]:

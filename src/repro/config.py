@@ -132,6 +132,7 @@ class YarnConfig:
     reduce_task_vcores: int = 1
     reduce_task_memory: int = 8 * GB
     heartbeat_interval: float = 1.0    # NM -> RM heartbeat (piggybacks broker)
+    max_task_attempts: int = 4         # mapreduce.map/reduce.maxattempts
 
 
 @dataclass(frozen=True)

@@ -207,7 +207,23 @@ class IOScheduler:
                 wait=now - req.submit_time,
             ))
         dev_ev = self.device.submit(req.op, req.nbytes)
-        dev_ev.callbacks.append(lambda ev, r=req: self._complete(r, ev.value))
+        dev_ev.callbacks.append(lambda ev, r=req: self._on_device_event(r, ev))
+
+    def _on_device_event(self, req: IORequest, ev: Event) -> None:
+        exc = ev.exception
+        if exc is None:
+            self._complete(req, ev.value)
+        else:
+            self._fail(req, exc)
+
+    def _fail(self, req: IORequest, exc: BaseException) -> None:
+        """A device I/O failed (injected fault): free the slot so the
+        scheduler keeps dispatching, and pass the failure to the issuer."""
+        self.outstanding -= 1
+        # Subclasses' _on_complete hooks only pump their dispatch loops
+        # and ignore the completion payload, so None is safe here.
+        self._on_complete(req, None)
+        req.completion.fail(exc)
 
     def _complete(self, req: IORequest, done: IOCompletion) -> None:
         self.outstanding -= 1

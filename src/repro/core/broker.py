@@ -20,7 +20,13 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Optional
 
 from repro.simcore import Simulator
-from repro.telemetry import BROKER_SYNC, BrokerSync, TelemetryBus
+from repro.telemetry import (
+    BROKER_OUTAGE,
+    BROKER_SYNC,
+    BrokerOutage,
+    BrokerSync,
+    TelemetryBus,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.sfq import SFQDScheduler
@@ -55,6 +61,24 @@ class SchedulingBroker:
         )
         self.messages = 0
         self.message_bytes = 0
+        #: outage flag: while True every report raises BrokerUnavailable
+        self.down = False
+        # Per-client report epoch: a client that lived through an outage
+        # (or a node recovery) bumps its epoch, telling the broker its
+        # cumulative vector restarted and must be rebased, not compared
+        # against the pre-outage baseline (which would trip the
+        # monotonicity check below).
+        self._epochs: dict[str, int] = {}
+
+    def set_down(self, down: bool) -> None:
+        """Enter/leave an outage window (driven by the fault injector)."""
+        if down == self.down:
+            return
+        self.down = down
+        if self.telemetry.publishes(BROKER_OUTAGE):
+            self.telemetry.publish(BrokerOutage(
+                t=self.sim.now, source="broker", down=down,
+            ))
 
     @property
     def totals(self) -> dict[str, float]:
@@ -66,13 +90,38 @@ class SchedulingBroker:
         return dict(out)
 
     def report(
-        self, client_id: str, service_vector: dict[str, float], scope: str = ""
+        self,
+        client_id: str,
+        service_vector: dict[str, float],
+        scope: str = "",
+        epoch: int = 0,
     ) -> dict[str, float]:
         """One coordination round-trip: absorb ``a_ij``, reply with ``A_i``
-        (within ``scope``) for the applications this scheduler serves."""
+        (within ``scope``) for the applications this scheduler serves.
+
+        A report with a higher ``epoch`` than the client's last *rebases*
+        its baseline: the first post-restart vector contributes no totals
+        delta (service lost in the gap is forfeited — safe, because the
+        DSFQ delay is purely additive), and deltas resume from there.
+        """
+        if self.down:
+            from repro.faults.errors import BrokerUnavailable
+
+            raise BrokerUnavailable("scheduling broker is down")
+        known = self._epochs.setdefault(client_id, epoch)
+        if epoch < known:
+            raise ValueError(
+                f"stale epoch {epoch} from {client_id!r} (have {known})"
+            )
+        rebase = epoch > known
+        if rebase:
+            self._epochs[client_id] = epoch
         mine = self._client_vectors[client_id]
         totals = self._totals[scope]
         for app, cumulative in service_vector.items():
+            if rebase:
+                mine[app] = cumulative
+                continue
             if cumulative < mine.get(app, 0.0):
                 raise ValueError(
                     f"service report for {app!r} from {client_id!r} went backwards"
@@ -118,6 +167,10 @@ class BrokerClient:
         self.scope = scope
         self._last_other: dict[str, float] = {}
         self._tick_scheduled = False
+        #: report epoch, bumped by :meth:`restart` after an outage/crash
+        self.epoch = 0
+        #: coordination rounds skipped because the broker was down
+        self.rounds_skipped = 0
         scheduler.add_submit_hook(self._on_submit)
 
     def _on_submit(self, _req) -> None:
@@ -130,7 +183,26 @@ class BrokerClient:
 
     def _tick(self) -> None:
         self._tick_scheduled = False
-        self.sync()
+        # Exception-safe: a failed sync must not kill the coordination
+        # loop — re-arm first, and treat a down broker as a skipped round
+        # (the scheduler degrades to local-only SFQ(D2) until it's back).
+        try:
+            self.sync()
+        except Exception as exc:
+            from repro.faults.errors import BrokerUnavailable
+
+            if not isinstance(exc, BrokerUnavailable):
+                raise
+            self.rounds_skipped += 1
+        finally:
+            if self.scheduler.outstanding > 0 or self.scheduler.queued > 0:
+                self._ensure_tick()
+
+    def restart(self) -> None:
+        """Reconcile after this client's node recovered from a crash:
+        bump the report epoch so the broker rebases instead of raising,
+        and re-arm the coordination loop if there is work."""
+        self.epoch += 1
         if self.scheduler.outstanding > 0 or self.scheduler.queued > 0:
             self._ensure_tick()
 
@@ -140,7 +212,9 @@ class BrokerClient:
         vector = dict(stats.service_by_app)
         if not vector:
             return
-        totals = self.broker.report(self.client_id, vector, scope=self.scope)
+        totals = self.broker.report(
+            self.client_id, vector, scope=self.scope, epoch=self.epoch
+        )
         for app, total in totals.items():
             other = total - vector.get(app, 0.0)
             grown = other - self._last_other.get(app, 0.0)

@@ -56,6 +56,8 @@ EXPERIMENTS = {
     "fig13": (figures.fig13_overhead, "IBIS overhead"),
     "mixed": (figures.mixed_policy_ablation,
               "per-class NodePolicy ablation (which point needs IBIS?)"),
+    "faults": (figures.faults_experiment,
+               "proportional sharing under injected faults"),
     "tab2": (figures.tab2_resource_usage, "daemon resource usage"),
     "tab3": (figures.tab3_loc, "component development cost"),
 }

@@ -1,0 +1,45 @@
+"""Error types raised by injected faults.
+
+All inherit :class:`~repro.simcore.FaultError`, which the failure
+handlers key on: the HDFS client retries a read on the next replica
+when a :class:`FaultError` surfaces, the AppMaster re-runs a task whose
+process died of one, and the engine counts (rather than raises) fault
+collateral in orphaned background processes.  Anything *not* derived
+from ``FaultError`` keeps its existing meaning: an unhandled model bug
+that must crash the run.
+"""
+
+from __future__ import annotations
+
+from repro.simcore import FaultError
+
+__all__ = [
+    "BrokerUnavailable",
+    "DeviceFailure",
+    "FaultError",
+    "LinkFailure",
+    "NodeFailure",
+    "ReadTimeout",
+]
+
+
+class DeviceFailure(FaultError):
+    """A storage device went down; in-flight and new I/Os fail."""
+
+
+class LinkFailure(FaultError):
+    """A NIC direction went down; in-flight and new transfers fail."""
+
+
+class NodeFailure(FaultError):
+    """A whole datanode crashed (devices + links + running containers)."""
+
+
+class BrokerUnavailable(FaultError):
+    """The Scheduling Broker is inside an outage window; clients must
+    skip the coordination round (the DSFQ delay is additive, so this is
+    safe) and retry on their next tick."""
+
+
+class ReadTimeout(FaultError):
+    """A replica read attempt exceeded the fault plan's read timeout."""

@@ -13,12 +13,16 @@ is queued at the PERSISTENT-class scheduler of the replica's node.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.core import DataNodeIO, IOClass, IORequest, IOTag
 from repro.hdfs.blocks import BlockLocations
 from repro.net import NetFabric
-from repro.simcore import Event, Simulator
+from repro.simcore import Event, FaultError, Interrupt, Simulator
+from repro.telemetry import REPLICA_FAILOVER, ReplicaFailover, TelemetryBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector, FaultPlan
 
 __all__ = ["BlockService", "iter_chunks", "windowed_stream"]
 
@@ -70,6 +74,7 @@ class BlockService:
         chunk: int,
         read_window: int = 2,
         write_window: int = 4,
+        telemetry: Optional[TelemetryBus] = None,
     ):
         self.sim = sim
         self.nodes = nodes
@@ -77,14 +82,37 @@ class BlockService:
         self.chunk = chunk
         self.read_window = read_window
         self.write_window = write_window
+        self.telemetry = telemetry
+        self._fault_plan: Optional["FaultPlan"] = None
+        self._injector: Optional["FaultInjector"] = None
+
+    def enable_failover(
+        self, plan: "FaultPlan", injector: Optional["FaultInjector"] = None
+    ) -> None:
+        """Turn on the read retry/failover path (fault-injected runs only;
+        without a plan, reads take the exact pre-fault-layer code path)."""
+        self._fault_plan = plan
+        self._injector = injector
 
     def read_block(self, loc: BlockLocations, reader_node: str, tag: IOTag):
         """Generator: stream one block to ``reader_node``.
 
         Reads from the closest replica; remote reads additionally cross
-        the network.  Returns the number of bytes read.
+        the network.  Returns the number of bytes read.  With a fault
+        plan attached, a failed or timed-out attempt retries on the next
+        replica with exponential backoff.
         """
-        replica = loc.closest(reader_node)
+        if self._fault_plan is not None:
+            return (yield from self._read_block_failover(loc, reader_node, tag))
+        yield from self._stream_from_replica(
+            loc, loc.closest(reader_node), reader_node, tag
+        )
+        return loc.block.size
+
+    def _stream_from_replica(
+        self, loc: BlockLocations, replica: str, reader_node: str, tag: IOTag
+    ):
+        """Generator: one streaming attempt from one chosen replica."""
         node = self.nodes[replica]
         remote = replica != reader_node
 
@@ -104,7 +132,75 @@ class BlockService:
 
         thunks = (make_chunk(s) for s in iter_chunks(loc.block.size, self.chunk))
         yield from windowed_stream(self.sim, thunks, self.read_window)
-        return loc.block.size
+
+    # -------------------------------------------------------- read failover
+    def _failover_order(self, loc: BlockLocations, reader_node: str) -> list[str]:
+        """Replica preference: local first (matching :meth:`closest`),
+        then the remaining replicas in placement order."""
+        if reader_node in loc.replicas:
+            return [reader_node] + [r for r in loc.replicas if r != reader_node]
+        return list(loc.replicas)
+
+    def _read_block_failover(self, loc: BlockLocations, reader_node: str, tag: IOTag):
+        plan = self._fault_plan
+        order = self._failover_order(loc, reader_node)
+        last_exc: Optional[Exception] = None
+        for attempt in range(plan.max_read_attempts):
+            if attempt > 0 and plan.read_backoff > 0:
+                yield self.sim.timeout(plan.read_backoff * 2 ** (attempt - 1))
+            live = order
+            if self._injector is not None:
+                live = [r for r in order if self._injector.alive(r)] or order
+            replica = live[attempt % len(live)]
+            try:
+                yield from self._read_attempt(
+                    loc, replica, reader_node, tag, plan.read_timeout
+                )
+                return loc.block.size
+            except FaultError as exc:
+                last_exc = exc
+                telemetry = self.telemetry
+                if telemetry is not None and telemetry.publishes(REPLICA_FAILOVER):
+                    telemetry.publish(ReplicaFailover(
+                        t=self.sim.now, source=reader_node, app_id=tag.app_id,
+                        block_id=loc.block.block_id, failed=replica,
+                        attempt=attempt + 1,
+                    ))
+        raise last_exc
+
+    def _read_attempt(
+        self,
+        loc: BlockLocations,
+        replica: str,
+        reader_node: str,
+        tag: IOTag,
+        timeout: float,
+    ):
+        """Generator: one attempt, optionally bounded by ``timeout``."""
+        if timeout <= 0:
+            yield from self._stream_from_replica(loc, replica, reader_node, tag)
+            return
+        from repro.faults.errors import ReadTimeout
+
+        proc = self.sim.process(
+            self._stream_from_replica(loc, replica, reader_node, tag),
+            name=f"read-try:{replica}",
+        )
+        guard = self.sim.timeout(timeout)
+        yield self.sim.any_of([proc, guard])
+        if not proc.is_alive:
+            _ = proc.value  # re-raise a failure that raced the guard
+            return
+        timeout_exc = ReadTimeout(
+            f"read of block {loc.block.block_id} from {replica} "
+            f"exceeded {timeout}s"
+        )
+        proc.interrupt(timeout_exc)
+        try:
+            yield proc
+        except Interrupt:
+            pass
+        raise timeout_exc
 
     def write_block(self, loc: BlockLocations, writer_node: str, tag: IOTag):
         """Generator: write one block through the replication pipeline.

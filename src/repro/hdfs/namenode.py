@@ -40,6 +40,27 @@ class NameNode:
         self._files: dict[str, HdfsFile] = {}
         self._next_block_id = itertools.count(1)
         self._rr = 0  # round-robin pointer for spread placement
+        self._dead: set[str] = set()  # nodes excluded from placement
+
+    # ------------------------------------------------------------- liveness
+    def node_down(self, node: str) -> None:
+        """Mark a datanode dead: it stops receiving new replicas."""
+        if node not in self.datanodes:
+            raise ValueError(f"unknown datanode {node!r}")
+        self._dead.add(node)
+
+    def node_up(self, node: str) -> None:
+        """A dead datanode rejoined the cluster."""
+        self._dead.discard(node)
+
+    def is_alive(self, node: str) -> bool:
+        return node not in self._dead
+
+    @property
+    def alive_datanodes(self) -> list[str]:
+        if not self._dead:
+            return list(self.datanodes)
+        return [n for n in self.datanodes if n not in self._dead]
 
     # ---------------------------------------------------------------- reads
     def lookup(self, path: str) -> HdfsFile:
@@ -103,6 +124,10 @@ class NameNode:
         for n in pool:
             if n not in self.datanodes:
                 raise ValueError(f"unknown datanode {n!r} in placement pool")
+        if self._dead:
+            pool = [n for n in pool if n not in self._dead]
+            if not pool:
+                raise ValueError("no live datanode available for placement")
         replication = min(self.replication, len(pool))
         if writer_node is not None and writer_node not in self.datanodes:
             raise ValueError(f"unknown writer node {writer_node!r}")

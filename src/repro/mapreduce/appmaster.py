@@ -12,6 +12,8 @@ from __future__ import annotations
 from repro.config import YarnConfig
 from repro.mapreduce.job import Job
 from repro.mapreduce.task import TaskEnv, run_map_task, run_reduce_task
+from repro.simcore import FaultError, Interrupt, SimulationError
+from repro.telemetry import TASK_RETRY, TaskRetry
 from repro.yarnsim import ContainerGrant, ResourceManager
 
 __all__ = ["AppMaster"]
@@ -74,6 +76,7 @@ class AppMaster:
                     vcores=self.yarn.map_task_vcores,
                     memory=self.yarn.map_task_memory,
                     preferred=preferred,
+                    what=f"map{i}",
                 ),
                 name=f"{job.app_id}:map{i}",
             )
@@ -95,6 +98,7 @@ class AppMaster:
                         vcores=self.yarn.reduce_task_vcores,
                         memory=self.yarn.reduce_task_memory,
                         preferred=(),
+                        what=f"red{r}",
                     ),
                     name=f"{job.app_id}:red{r}",
                 )
@@ -104,16 +108,52 @@ class AppMaster:
         yield sim.all_of(map_procs + reduce_procs)
         job.finish()
 
-    def _run_in_container(self, task_factory, vcores: int, memory: int, preferred):
+    def _run_in_container(
+        self, task_factory, vcores: int, memory: int, preferred, what: str = "task"
+    ):
         """Generator: acquire a container, build the task for the granted
-        node, run it, and release the container whatever happens."""
+        node, run it, and release the container whatever happens.
+
+        A task killed by an injected fault (its node crashed, or all its
+        I/O retries were exhausted) is re-run in a fresh container on a
+        different node, up to ``yarn.max_task_attempts`` attempts.  Any
+        non-fault failure propagates: it's a model bug, not weather.
+        """
         sim = self.env.sim
-        grant: ContainerGrant = yield self.rm.request_container(
-            self.job.app_id, vcores, memory, preferred
-        )
-        try:
-            yield sim.process(
+        env = self.env
+        attempts = 0
+        avoid: set[str] = set()
+        while True:
+            prefer = tuple(n for n in preferred if n not in avoid) or tuple(preferred)
+            grant: ContainerGrant = yield self.rm.request_container(
+                self.job.app_id, vcores, memory, prefer
+            )
+            proc = sim.process(
                 task_factory(grant.node_id), name=f"task@{grant.node_id}"
             )
-        finally:
-            self.rm.release_container(self.job.app_id, grant)
+            if env.faults is not None:
+                env.faults.watch_task(grant.node_id, proc)
+            try:
+                yield proc
+                return
+            except Interrupt as intr:
+                if not isinstance(intr.cause, FaultError):
+                    raise
+                failure: Exception = intr.cause
+            except FaultError as exc:
+                failure = exc
+            finally:
+                self.rm.release_container(self.job.app_id, grant)
+            attempts += 1
+            avoid.add(grant.node_id)
+            if attempts >= self.yarn.max_task_attempts:
+                raise SimulationError(
+                    f"task {what} of {self.job.app_id} failed "
+                    f"{attempts} attempts (last on {grant.node_id})"
+                ) from failure
+            telemetry = env.telemetry
+            if telemetry is not None and telemetry.publishes(TASK_RETRY):
+                telemetry.publish(TaskRetry(
+                    t=sim.now, source=self.job.app_id, task=what,
+                    node=grant.node_id, attempt=attempts,
+                ))

@@ -14,6 +14,7 @@ Its I/O follows Figure 1:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -23,6 +24,10 @@ from repro.localfs import LocalFS
 from repro.mapreduce.job import Job, MapOutput
 from repro.net import NetFabric
 from repro.simcore import Resource, Simulator
+from repro.telemetry import TelemetryBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
 
 __all__ = ["TaskEnv", "run_map_task", "run_reduce_task"]
 
@@ -39,6 +44,8 @@ class TaskEnv:
     localfs: dict[str, LocalFS]
     net: NetFabric
     rng: np.random.Generator
+    telemetry: Optional[TelemetryBus] = None
+    faults: Optional["FaultInjector"] = None
 
     def jitter(self) -> float:
         """±10% multiplicative compute-time jitter."""
@@ -87,6 +94,10 @@ def run_map_task(env: TaskEnv, job: Job, map_index: int, node_id: str,
             yield from lfs.read(reread, tag)
     if hdfs_out > 0:
         path = f"/out/{job.app_id}/part-m-{map_index:05d}"
+        # A retried attempt overwrites the dead attempt's partial output.
+        nn = env.dfs.namenode
+        if nn.exists(path):
+            nn.delete(path)
         yield from env.dfs.write_file(path, hdfs_out, node_id, tag)
 
     job.note_map_output(MapOutput(map_index, node_id, map_out))
@@ -151,6 +162,9 @@ def run_reduce_task(env: TaskEnv, job: Job, reduce_index: int, node_id: str):
     out_bytes = spec.output_bytes // spec.n_reduces
     if out_bytes > 0:
         path = f"/out/{job.app_id}/part-r-{reduce_index:05d}"
+        nn = env.dfs.namenode
+        if nn.exists(path):
+            nn.delete(path)
         yield from env.dfs.write_file(path, out_bytes, node_id, tag)
 
     job.note_reduce_done()

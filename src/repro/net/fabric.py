@@ -51,6 +51,22 @@ class Link:
     def flows(self) -> int:
         return self._pipe.in_flight
 
+    # -------------------------------------------------------------- faults
+    @property
+    def failed(self) -> bool:
+        return self._pipe.failed
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale this direction's bandwidth (link degradation)."""
+        self._pipe.set_rate_factor(factor)
+
+    def fail(self, exc: BaseException) -> None:
+        """Cut the link: in-flight and future sends fail with ``exc``."""
+        self._pipe.fail(exc)
+
+    def repair(self) -> None:
+        self._pipe.repair()
+
 
 class NetFabric:
     """All NICs plus the transfer primitive used by HDFS and shuffle."""
@@ -82,5 +98,14 @@ class NetFabric:
         both = self.sim.all_of(
             [self.egress[src].send(nbytes), self.ingress[dst].send(nbytes)]
         )
-        both.callbacks.append(lambda ev: done.succeed(nbytes))
+
+        def _settle(ev: Event) -> None:
+            # A failed leg (link cut mid-transfer) must fail the transfer,
+            # not strand it: all_of propagates the first leg failure.
+            if ev.exception is not None:
+                done.fail(ev.exception)
+            else:
+                done.succeed(nbytes)
+
+        both.callbacks.append(_settle)
         return done

@@ -11,6 +11,7 @@ MapReduce tasks, and the IBIS schedulers themselves — runs on this engine.
 
 from repro.simcore.engine import (
     Event,
+    FaultError,
     Interrupt,
     Process,
     SimulationError,
@@ -24,6 +25,7 @@ from repro.simcore.rng import RngRegistry
 __all__ = [
     "Counter",
     "Event",
+    "FaultError",
     "Gate",
     "Interrupt",
     "Process",

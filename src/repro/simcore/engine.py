@@ -23,6 +23,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Event",
+    "FaultError",
     "Interrupt",
     "Process",
     "SimulationError",
@@ -35,6 +36,17 @@ __all__ = [
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation API (not for model errors)."""
+
+
+class FaultError(Exception):
+    """Base class of injected-fault errors (see :mod:`repro.faults`).
+
+    Defined in the engine so the run loop can recognise *fault
+    collateral* — a background process killed by an injected fault after
+    its owner already died (e.g. an in-flight chunk of an interrupted
+    task) — and count it instead of crashing the simulation, while
+    genuine unhandled model errors still surface.
+    """
 
 
 class Interrupt(Exception):
@@ -393,6 +405,9 @@ class Simulator:
         self._seq = 0
         self._active: Optional[Process] = None
         self._defunct: list[Process] = []  # failed processes, checked in run()
+        #: orphaned processes killed by an injected fault (no joiner);
+        #: counted rather than raised — see :class:`FaultError`.
+        self.orphaned_faults = 0
 
     # -- event construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -486,6 +501,19 @@ class Simulator:
             if proc is joined:
                 continue
             # A process failure with a registered waiter is someone else's
-            # problem; without one it is an unhandled model error.
+            # problem; without one it is an unhandled model error —
+            # except fault collateral, which is expected during fault
+            # injection and only counted.
             if not proc.callbacks and proc._exc is not None:
-                raise proc._exc
+                exc = proc._exc
+                if isinstance(exc, FaultError) or (
+                    isinstance(exc, Interrupt) and isinstance(exc.cause, FaultError)
+                ):
+                    self.orphaned_faults += 1
+                    continue
+                if getattr(exc, "sim_process", None) is None:
+                    try:
+                        exc.sim_process = proc.name
+                    except (AttributeError, TypeError):
+                        pass
+                raise exc

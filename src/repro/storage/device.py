@@ -93,6 +93,12 @@ class StorageDevice:
         self._storm_until = 0.0
         self._written_since_flush = 0.0
 
+        # Fault-injection state: a rate multiplier (fail-slow disks) and
+        # a failure marker.  Both stay at their identity values in every
+        # healthy run, so the fault layer costs one float multiply.
+        self._rate_factor = 1.0
+        self._failed: Optional[BaseException] = None
+
         # Completion-tick dispatch: every submit/complete reschedules the
         # next tick, so tick events are pooled and reused instead of
         # allocated per dispatch, and I/O event names are precomputed.
@@ -118,6 +124,10 @@ class StorageDevice:
             raise ValueError(f"unknown op {op!r}")
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if self._failed is not None:
+            ev = Event(self.sim, name=self._io_name[op])
+            ev.fail(self._failed)
+            return ev
         self._advance()
         ev = Event(self.sim, name=self._io_name[op])
         entry = _Active(op, int(nbytes), self.sim.now, ev)
@@ -139,7 +149,7 @@ class StorageDevice:
     def current_rate(self) -> float:
         """Aggregate service rate right now (work units / second)."""
         n = len(self._heap)
-        rate = self.profile.rate_at(n)
+        rate = self.profile.rate_at(n) * self._rate_factor
         if self.sim.now < self._storm_until:
             rate *= self.profile.flush_factor
         return rate
@@ -147,6 +157,43 @@ class StorageDevice:
     @property
     def in_storm(self) -> bool:
         return self.sim.now < self._storm_until
+
+    # -------------------------------------------------------------- faults
+    @property
+    def failed(self) -> bool:
+        return self._failed is not None
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale the device's service rate by ``factor`` (fail-slow disk).
+
+        ``factor`` must stay positive — a dead device is :meth:`fail`,
+        not factor 0 (V could never advance with work queued).
+        """
+        if factor <= 0:
+            raise ValueError(f"rate factor must be > 0, got {factor}")
+        if factor == self._rate_factor:
+            return
+        self._advance()
+        self._rate_factor = factor
+        self._reschedule()
+
+    def fail(self, exc: BaseException) -> None:
+        """Kill the device: every in-flight I/O fails with ``exc``, and
+        every future :meth:`submit` returns an already-failed event until
+        :meth:`repair` is called."""
+        self._advance()
+        self._failed = exc
+        self._gen += 1          # cancel the live completion tick
+        dropped, self._heap = self._heap, []
+        # FCFS tail restarts from the current progress point on repair.
+        self._last_target = self._v
+        for _tv, _seq, entry in dropped:
+            entry.event.fail(exc)
+
+    def repair(self) -> None:
+        """Bring a failed device back (empty, at full rate)."""
+        self._failed = None
+        self._v_updated = self.sim.now
 
     # ----------------------------------------------------------- internals
     def _progress_rate(self) -> float:
@@ -169,7 +216,7 @@ class StorageDevice:
         if now > t:
             n = len(self._heap)
             if n > 0:
-                base = self.profile.rate_at(n)
+                base = self.profile.rate_at(n) * self._rate_factor
                 if not self._fcfs:
                     base /= n
                 storm_end = self._storm_until

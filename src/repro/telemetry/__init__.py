@@ -18,19 +18,31 @@ JSON trace export — is a *sink* subscribed to it.
 
 from repro.telemetry.bus import TelemetryBus
 from repro.telemetry.events import (
+    BROKER_OUTAGE,
     BROKER_SYNC,
     DEPTH_CHANGED,
     EVENT_KINDS,
+    FAULT_INJECTED,
     FLUSH_SPIKE,
+    NODE_DOWN,
+    NODE_UP,
+    REPLICA_FAILOVER,
     REQUEST_COMPLETED,
     REQUEST_DISPATCHED,
     REQUEST_SUBMITTED,
+    TASK_RETRY,
+    BrokerOutage,
     BrokerSync,
     DepthChanged,
+    FaultInjected,
     FlushSpike,
+    NodeDown,
+    NodeUp,
+    ReplicaFailover,
     RequestCompleted,
     RequestDispatched,
     RequestSubmitted,
+    TaskRetry,
     event_record,
 )
 from repro.telemetry.sinks import (
@@ -48,24 +60,36 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "BROKER_OUTAGE",
     "BROKER_SYNC",
     "DEPTH_CHANGED",
     "EVENT_KINDS",
+    "FAULT_INJECTED",
     "FLUSH_SPIKE",
+    "NODE_DOWN",
+    "NODE_UP",
+    "REPLICA_FAILOVER",
     "REQUEST_COMPLETED",
     "REQUEST_DISPATCHED",
     "REQUEST_SUBMITTED",
+    "TASK_RETRY",
     "AppRateMeterSink",
+    "BrokerOutage",
     "BrokerSync",
     "CounterSink",
     "DepthChanged",
+    "FaultInjected",
     "FlushSpike",
     "JsonLinesTraceSink",
     "LatencyWindowSink",
+    "NodeDown",
+    "NodeUp",
+    "ReplicaFailover",
     "RequestCompleted",
     "RequestDispatched",
     "RequestSubmitted",
     "TRACE_SCHEMA",
+    "TaskRetry",
     "TelemetryBus",
     "TimeSeriesSink",
     "event_record",

@@ -21,19 +21,31 @@ from dataclasses import dataclass
 from typing import Any, ClassVar
 
 __all__ = [
+    "BROKER_OUTAGE",
     "BROKER_SYNC",
     "DEPTH_CHANGED",
     "EVENT_KINDS",
+    "FAULT_INJECTED",
     "FLUSH_SPIKE",
+    "NODE_DOWN",
+    "NODE_UP",
+    "REPLICA_FAILOVER",
     "REQUEST_COMPLETED",
     "REQUEST_DISPATCHED",
     "REQUEST_SUBMITTED",
+    "TASK_RETRY",
+    "BrokerOutage",
     "BrokerSync",
     "DepthChanged",
+    "FaultInjected",
     "FlushSpike",
+    "NodeDown",
+    "NodeUp",
+    "ReplicaFailover",
     "RequestCompleted",
     "RequestDispatched",
     "RequestSubmitted",
+    "TaskRetry",
     "event_record",
 ]
 
@@ -43,6 +55,12 @@ REQUEST_COMPLETED = "request_completed"
 DEPTH_CHANGED = "depth_changed"
 BROKER_SYNC = "broker_sync"
 FLUSH_SPIKE = "flush_spike"
+FAULT_INJECTED = "fault_injected"
+NODE_DOWN = "node_down"
+NODE_UP = "node_up"
+REPLICA_FAILOVER = "replica_failover"
+TASK_RETRY = "task_retry"
+BROKER_OUTAGE = "broker_outage"
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +145,72 @@ class FlushSpike:
         return self.until - self.t
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected:
+    """The fault injector fired one planned fault event."""
+
+    kind: ClassVar[str] = FAULT_INJECTED
+    t: float
+    source: str          # always "faults" (the injector)
+    fault: str           # FaultEvent.kind, e.g. "node_crash"
+    target: str          # node id, or "" for cluster-wide faults
+    duration: float      # planned fault window, 0.0 = permanent
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDown:
+    """A datanode crashed and left placement/allocation pools."""
+
+    kind: ClassVar[str] = NODE_DOWN
+    t: float
+    source: str          # the node id
+    permanent: bool      # False when a recovery is scheduled
+
+
+@dataclass(frozen=True, slots=True)
+class NodeUp:
+    """A crashed datanode recovered and rejoined the cluster."""
+
+    kind: ClassVar[str] = NODE_UP
+    t: float
+    source: str          # the node id
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaFailover:
+    """An HDFS read attempt failed and the client moved to another replica."""
+
+    kind: ClassVar[str] = REPLICA_FAILOVER
+    t: float
+    source: str          # the reading node's id
+    app_id: str
+    block_id: int
+    failed: str          # the replica node the attempt died on
+    attempt: int         # 1-based index of the failed attempt
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRetry:
+    """The AppMaster re-ran a task lost to an injected fault."""
+
+    kind: ClassVar[str] = TASK_RETRY
+    t: float
+    source: str          # the application id
+    task: str            # task name, e.g. "map3"
+    node: str            # the node the failed attempt ran on
+    attempt: int         # 1-based index of the failed attempt
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerOutage:
+    """The Scheduling Broker went down (or came back)."""
+
+    kind: ClassVar[str] = BROKER_OUTAGE
+    t: float
+    source: str          # always "broker"
+    down: bool           # True at outage start, False at recovery
+
+
 EVENT_KINDS: tuple[str, ...] = (
     REQUEST_SUBMITTED,
     REQUEST_DISPATCHED,
@@ -134,6 +218,12 @@ EVENT_KINDS: tuple[str, ...] = (
     DEPTH_CHANGED,
     BROKER_SYNC,
     FLUSH_SPIKE,
+    FAULT_INJECTED,
+    NODE_DOWN,
+    NODE_UP,
+    REPLICA_FAILOVER,
+    TASK_RETRY,
+    BROKER_OUTAGE,
 )
 
 

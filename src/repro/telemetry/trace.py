@@ -51,6 +51,27 @@ TRACE_SCHEMA: dict[str, dict[str, type]] = {
     "flush_spike": {
         "t": float, "source": str, "until": float, "factor": float,
     },
+    "fault_injected": {
+        "t": float, "source": str, "fault": str, "target": str,
+        "duration": float,
+    },
+    "node_down": {
+        "t": float, "source": str, "permanent": bool,
+    },
+    "node_up": {
+        "t": float, "source": str,
+    },
+    "replica_failover": {
+        "t": float, "source": str, "app_id": str, "block_id": int,
+        "failed": str, "attempt": int,
+    },
+    "task_retry": {
+        "t": float, "source": str, "task": str, "node": str,
+        "attempt": int,
+    },
+    "broker_outage": {
+        "t": float, "source": str, "down": bool,
+    },
 }
 
 _IO_CLASSES = ("persistent", "intermediate", "network")

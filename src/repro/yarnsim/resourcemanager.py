@@ -73,6 +73,25 @@ class ResourceManager:
         self.apps: dict[str, AppHandle] = {}
         self._pending: list[_Pending] = []
         self._seq = 0
+        self._dead: set[str] = set()  # crashed nodes, no new containers
+
+    # ------------------------------------------------------------- liveness
+    def node_down(self, node: str) -> None:
+        """Stop granting containers on a crashed node.
+
+        Capacity already granted there is reclaimed by the AppMaster
+        releasing the dead containers (the normal release path)."""
+        if node not in self.node_ids:
+            raise ValueError(f"unknown node {node!r}")
+        self._dead.add(node)
+
+    def node_up(self, node: str) -> None:
+        """A crashed node recovered; its capacity is grantable again."""
+        self._dead.discard(node)
+        self._allocate()
+
+    def is_alive(self, node: str) -> bool:
+        return node not in self._dead
 
     # ------------------------------------------------------------------ api
     def register_app(
@@ -136,11 +155,16 @@ class ResourceManager:
         return True
 
     def _find_node(self, p: _Pending) -> Optional[str]:
+        dead = self._dead
         for n in p.preferred:
+            if n in dead:
+                continue
             if self.cores_free.get(n, 0) >= p.vcores and self.mem_free.get(n, 0) >= p.memory:
                 return n
         best, best_free = None, -1
         for n in self.node_ids:
+            if n in dead:
+                continue
             if self.cores_free[n] >= p.vcores and self.mem_free[n] >= p.memory:
                 if self.cores_free[n] > best_free:
                     best, best_free = n, self.cores_free[n]

@@ -171,3 +171,75 @@ def test_coordination_rebalances_total_service():
 
     # Coordination must strictly improve the total-service balance.
     assert wide_sync / solo_sync < wide_nosync / solo_nosync
+
+
+# ----------------------------------------------- outages & reconciliation
+
+def test_broker_outage_rejects_reports():
+    from repro.faults import BrokerUnavailable
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.set_down(True)
+    with pytest.raises(BrokerUnavailable):
+        broker.report("n1", {"a": 1.0})
+    broker.set_down(False)
+    broker.report("n1", {"a": 1.0})
+    assert broker.totals["a"] == 1.0
+
+
+def test_epoch_rebase_forfeits_gap_service():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 10.0}, epoch=0)
+    # The client restarted: a lower cumulative vector with a bumped epoch
+    # rebases the baseline instead of tripping the monotonicity check.
+    broker.report("n1", {"a": 3.0}, epoch=1)
+    assert broker.totals["a"] == 10.0     # gap service forfeited
+    broker.report("n1", {"a": 5.0}, epoch=1)
+    assert broker.totals["a"] == 12.0     # deltas resume from the rebase
+
+
+def test_stale_epoch_rejected():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    broker.report("n1", {"a": 1.0}, epoch=2)
+    with pytest.raises(ValueError, match="stale epoch"):
+        broker.report("n1", {"a": 2.0}, epoch=1)
+
+
+def test_client_restart_rebases_without_double_counting():
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1")
+    submit(sim, sched, "x", 1.0, nbytes=2 * MB)
+    sim.run()
+    client.sync()
+    total_before = broker.totals["x"]
+    client.restart()
+    client.sync()  # rebase round: same cumulative vector, no delta
+    assert client.epoch == 1
+    assert broker.totals["x"] == total_before
+
+
+def test_tick_survives_broker_outage():
+    """The coordination loop must not die while the broker is down: it
+    counts skipped rounds and resumes when the outage ends."""
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    dev = StorageDevice(sim, FLAT)
+    sched = SFQDScheduler(sim, dev, depth=1)
+    client = BrokerClient(sim, broker, sched, client_id="n1", period=0.05)
+
+    def task():
+        while True:
+            req = IORequest(sim, IOTag("x", 1.0), "read", 1 * MB)
+            yield sched.submit(req)
+
+    sim.process(task())
+    broker.set_down(True)
+    sim.call_at(0.5, lambda: broker.set_down(False))
+    sim.run(until=1.0)
+    assert client.rounds_skipped >= 1
+    assert broker.messages >= 1  # reports resumed after the outage

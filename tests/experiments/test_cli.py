@@ -8,7 +8,7 @@ from repro.experiments.run import EXPERIMENTS, main
 def test_every_artifact_has_an_entry():
     assert set(EXPERIMENTS) == {
         "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "tab2", "tab3", "mixed",
+        "fig11", "fig12", "fig13", "tab2", "tab3", "mixed", "faults",
     }
 
 

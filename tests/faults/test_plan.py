@@ -1,0 +1,118 @@
+"""Unit tests for FaultEvent / FaultPlan: validation and serialisation."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    NODE_CRASH,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def small_plan():
+    return FaultPlan(
+        events=(
+            FaultEvent.node_crash(1.0, "dn01", duration=2.0),
+            FaultEvent.slow_disk(3.0, "dn02", duration=1.0, factor=0.5,
+                                 device="tmp"),
+            FaultEvent.link_degrade(4.0, "dn03", duration=1.0, factor=0.25,
+                                    jitter=0.5),
+            FaultEvent.broker_outage(5.0, duration=2.0),
+        ),
+        read_backoff=0.125,
+        read_timeout=1.5,
+        max_read_attempts=3,
+    )
+
+
+# ------------------------------------------------------------- validation
+
+def test_fault_kinds_is_complete():
+    assert set(FAULT_KINDS) == {
+        "node_crash", "slow_disk", "link_degrade", "broker_outage"
+    }
+
+
+@pytest.mark.parametrize("bad", [
+    dict(kind="meteor_strike", at=1.0, target="dn01"),
+    dict(kind=NODE_CRASH, at=-1.0, target="dn01"),
+    dict(kind=NODE_CRASH, at=1.0, target=""),            # needs a target
+    dict(kind=NODE_CRASH, at=1.0, target="dn01", duration=-1.0),
+    dict(kind=NODE_CRASH, at=1.0, target="dn01", jitter=-0.1),
+    dict(kind="slow_disk", at=1.0, target="dn01"),       # duration <= 0
+    dict(kind="slow_disk", at=1.0, target="dn01", duration=1.0, factor=0.0),
+    dict(kind="slow_disk", at=1.0, target="dn01", duration=1.0, factor=1.5),
+    dict(kind="slow_disk", at=1.0, target="dn01", duration=1.0, factor=0.5,
+         device="floppy"),
+    dict(kind="link_degrade", at=1.0, target="dn01", duration=1.0, factor=2.0),
+    dict(kind="broker_outage", at=1.0, target="dn01", duration=1.0),
+    dict(kind="broker_outage", at=1.0),                  # duration <= 0
+])
+def test_invalid_events_rejected(bad):
+    with pytest.raises(ValueError):
+        FaultEvent(**bad)
+
+
+def test_permanent_crash_is_duration_zero():
+    ev = FaultEvent.node_crash(1.0, "dn01")
+    assert ev.duration == 0.0  # permanent by convention
+
+
+def test_plan_validation():
+    ev = FaultEvent.broker_outage(1.0, duration=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(events=(ev,), read_backoff=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(events=(ev,), read_timeout=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(events=(ev,), max_read_attempts=0)
+    with pytest.raises(TypeError):
+        FaultPlan(events=({"kind": "node_crash"},))
+
+
+def test_plan_coerces_events_to_tuple():
+    ev = FaultEvent.broker_outage(1.0, duration=1.0)
+    plan = FaultPlan(events=[ev])
+    assert plan.events == (ev,)
+    assert isinstance(plan.events, tuple)
+
+
+# --------------------------------------------------------- serialisation
+
+def test_round_trip_preserves_equality():
+    plan = small_plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_canonical_json_is_stable():
+    # Equal plans built independently serialise to identical bytes.
+    assert small_plan().to_json() == small_plan().to_json()
+    text = small_plan().to_json()
+    assert FaultPlan.from_json(text).to_json() == text
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown FaultPlan"):
+        FaultPlan.from_dict({"events": [], "blast_radius": 3})
+    with pytest.raises(ValueError, match="unknown FaultEvent"):
+        FaultEvent.from_dict({"kind": NODE_CRASH, "at": 1.0,
+                              "target": "dn01", "severity": "high"})
+
+
+def test_from_dict_accepts_event_instances():
+    ev = FaultEvent.node_crash(1.0, "dn01", duration=2.0)
+    plan = FaultPlan.from_dict({"events": [ev]})
+    assert plan.events == (ev,)
+
+
+def test_from_dict_rejects_non_sequence_events():
+    with pytest.raises(TypeError):
+        FaultPlan.from_dict({"events": "node_crash"})
+
+
+def test_default_plan_has_no_events():
+    plan = FaultPlan()
+    assert plan.events == ()
+    assert plan.max_read_attempts >= 1

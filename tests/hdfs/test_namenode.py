@@ -123,3 +123,54 @@ def test_block_validation():
         Block(1, "/f", -1, 5)
     with pytest.raises(ValueError):
         BlockLocations(Block(1, "/f", 0, 5), ())
+
+
+# ----------------------------------------------------------- liveness
+
+def test_dead_node_excluded_from_placement():
+    nn = make_nn()
+    nn.node_down("dn3")
+    assert not nn.is_alive("dn3")
+    assert nn.alive_datanodes == [n for n in NODES if n != "dn3"]
+    for _ in range(20):
+        assert "dn3" not in nn.place_replicas()
+    nn.node_up("dn3")
+    assert nn.is_alive("dn3")
+    assert nn.alive_datanodes == NODES
+
+
+def test_node_down_unknown_rejected():
+    with pytest.raises(ValueError):
+        make_nn().node_down("ghost")
+
+
+def test_placement_fails_when_all_candidates_dead():
+    nn = make_nn()
+    nn.node_down("dn0")
+    nn.node_down("dn1")
+    with pytest.raises(ValueError, match="no live datanode"):
+        nn.place_replicas(candidates=["dn0", "dn1"])
+
+
+def test_placement_degrades_below_replication_when_pool_small():
+    nn = make_nn(replication=3)
+    for n in NODES[2:]:
+        nn.node_down(n)  # only dn0, dn1 left alive
+    replicas = nn.place_replicas()
+    assert set(replicas) == {"dn0", "dn1"}
+    assert len(replicas) == 2  # fewer than replication, but all live
+
+
+def test_dead_writer_falls_back_to_live_primary():
+    nn = make_nn()
+    nn.node_down("dn3")
+    replicas = nn.place_replicas(writer_node="dn3")
+    assert "dn3" not in replicas
+
+
+def test_writer_outside_candidate_pool_not_primary():
+    nn = make_nn()
+    subset = {"dn0", "dn1", "dn2"}
+    replicas = nn.place_replicas(writer_node="dn5", candidates=sorted(subset))
+    assert replicas[0] in subset
+    assert set(replicas) <= subset

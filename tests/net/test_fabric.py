@@ -93,3 +93,53 @@ def test_total_bytes_accounting():
     assert net.total_bytes == 15 * MB
     assert net.egress["a"].bytes_carried == 10 * MB
     assert net.ingress["a"].bytes_carried == 5 * MB
+
+
+# ------------------------------------------------- fault injection hooks
+
+def test_link_failure_fails_inflight_transfer():
+    """A leg failing mid-transfer must fail the transfer event (not hang
+    it, and not complete it as a success)."""
+    from repro.faults import LinkFailure
+    sim = Simulator()
+    net = NetFabric(sim, ["a", "b"], BW)
+    caught = []
+
+    def proc():
+        try:
+            yield net.transfer("a", "b", 100 * MB)
+        except LinkFailure:
+            caught.append(sim.now)
+
+    sim.process(proc())
+    sim.call_at(0.5, lambda: net.egress["a"].fail(LinkFailure("cable cut")))
+    sim.run()
+    assert caught == [0.5]
+
+
+def test_link_rate_factor_slows_transfer():
+    sim = Simulator()
+    net = NetFabric(sim, ["a", "b"], BW)
+    net.egress["a"].set_rate_factor(0.5)
+
+    def proc():
+        yield net.transfer("a", "b", 100 * MB)
+        return sim.now
+
+    # The degraded 50 MB/s egress leg is the bottleneck.
+    assert sim.run(until=sim.process(proc())) == pytest.approx(2.0)
+
+
+def test_link_repair_restores_transfers():
+    from repro.faults import LinkFailure
+    sim = Simulator()
+    net = NetFabric(sim, ["a", "b"], BW)
+    net.egress["a"].fail(LinkFailure("down"))
+    net.egress["a"].repair()
+    assert not net.egress["a"].failed
+
+    def proc():
+        yield net.transfer("a", "b", 100 * MB)
+        return sim.now
+
+    assert sim.run(until=sim.process(proc())) == pytest.approx(1.0)

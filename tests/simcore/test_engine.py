@@ -467,3 +467,42 @@ def test_immediately_returning_process():
 
     assert sim.run(until=sim.process(instant())) == 99
     assert sim.now == 0.0
+
+
+def test_orphaned_fault_failure_counted_not_raised():
+    from repro.simcore import FaultError
+    sim = Simulator()
+
+    def collateral():
+        yield sim.timeout(1.0)
+        raise FaultError("in-flight I/O lost to a crash")
+
+    sim.process(collateral())
+    sim.run()  # must not raise: fault collateral is expected
+    assert sim.orphaned_faults == 1
+
+
+def test_orphaned_fault_interrupt_counted_not_raised():
+    from repro.simcore import FaultError
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(10.0)
+
+    p = sim.process(victim())
+    sim.call_at(1.0, lambda: p.interrupt(FaultError("node crashed")))
+    sim.run()
+    assert sim.orphaned_faults == 1
+
+
+def test_unjoined_failure_carries_process_name():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("model bug")
+
+    sim.process(bad(), name="culprit")
+    with pytest.raises(RuntimeError) as info:
+        sim.run()
+    assert info.value.sim_process == "culprit"

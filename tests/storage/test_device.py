@@ -228,3 +228,73 @@ def test_many_concurrent_requests_complete_and_conserve_work():
     assert dev.read_meter.total == 250 * MB
     # 250 MB work at <=100 MB/s: must take at least 2.5 s.
     assert sim.now >= 2.5
+
+
+# ------------------------------------------------- fault injection hooks
+
+def test_rate_factor_scales_service():
+    sim = Simulator()
+    dev = StorageDevice(sim, FLAT)
+    dev.set_rate_factor(0.5)
+    r = _run_io(sim, dev, "read", 50 * MB)
+    sim.run()
+    assert r.value.latency == pytest.approx(1.0)  # 50 MB at 50 MB/s
+
+
+def test_rate_factor_change_mid_flight():
+    sim = Simulator()
+    dev = StorageDevice(sim, FLAT)
+    r = _run_io(sim, dev, "read", 100 * MB)
+    sim.call_at(0.5, lambda: dev.set_rate_factor(0.5))
+    sim.run()
+    # 50 MB served by t=0.5, the rest at 50 MB/s: done at t=1.5.
+    assert r.value.latency == pytest.approx(1.5)
+
+
+def test_rate_factor_validation():
+    dev = StorageDevice(Simulator(), FLAT)
+    with pytest.raises(ValueError):
+        dev.set_rate_factor(0.0)
+    with pytest.raises(ValueError):
+        dev.set_rate_factor(-1.0)
+
+
+def test_fail_errors_inflight_and_new_requests():
+    from repro.faults import DeviceFailure
+    sim = Simulator()
+    dev = StorageDevice(sim, FLAT)
+    caught = []
+
+    def proc(nbytes):
+        try:
+            yield dev.submit("read", nbytes)
+        except DeviceFailure:
+            caught.append(sim.now)
+
+    sim.process(proc(100 * MB))
+    sim.call_at(0.5, lambda: dev.fail(DeviceFailure("dead")))
+    sim.run()
+    assert caught == [0.5]          # in-flight request errored at failure
+    assert dev.failed
+    t_resubmit = sim.now
+    sim.process(proc(1 * MB))       # new submissions fail immediately
+    sim.run()
+    assert caught == [0.5, t_resubmit]
+
+
+def test_repair_restores_service():
+    from repro.faults import DeviceFailure
+    sim = Simulator()
+    dev = StorageDevice(sim, FLAT)
+    dev.fail(DeviceFailure("dead"))
+    sim.call_at(1.0, dev.repair)
+
+    def proc():
+        yield sim.timeout(2.0)
+        done = yield dev.submit("read", 100 * MB)
+        return done.latency
+
+    p = sim.process(proc())
+    sim.run()
+    assert not dev.failed
+    assert p.value == pytest.approx(1.0)  # full rate after repair

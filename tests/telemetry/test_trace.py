@@ -107,3 +107,28 @@ def test_run_single_job_exports_schema_valid_trace(tmp_path):
     # exercises the controller and the broker.
     assert {"request_submitted", "request_dispatched",
             "request_completed", "depth_changed", "broker_sync"} <= kinds
+
+
+def test_fault_event_records_validate():
+    for kind, extra in (
+        ("fault_injected", {"fault": "node_crash", "target": "dn01",
+                            "duration": 2.0}),
+        ("node_down", {"permanent": False}),
+        ("node_up", {}),
+        ("replica_failover", {"app_id": "app01", "block_id": 7,
+                              "failed": "dn01", "attempt": 2}),
+        ("task_retry", {"task": "map3", "node": "dn01", "attempt": 1}),
+        ("broker_outage", {"down": True}),
+    ):
+        validate_trace_record({"kind": kind, "t": 1.0, "source": "x", **extra})
+
+
+@pytest.mark.parametrize("rec", [
+    {"kind": "node_down", "t": 1.0, "source": "x", "permanent": 1},
+    {"kind": "broker_outage", "t": 1.0, "source": "x", "down": "yes"},
+    {"kind": "replica_failover", "t": 1.0, "source": "x", "app_id": "a",
+     "block_id": 1.5, "failed": "dn01", "attempt": 1},
+])
+def test_fault_records_with_wrong_types_rejected(rec):
+    with pytest.raises(ValueError):
+        validate_trace_record(rec)

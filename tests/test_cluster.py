@@ -134,3 +134,15 @@ def test_preload_skewed_placement():
     f = cl.namenode.lookup("/in/hot")
     for loc in f.blocks:
         assert set(loc.replicas) <= set(subset)
+
+
+def test_process_death_surfaces_as_simulation_error_naming_process():
+    cl = BigDataCluster(default_cluster(), PolicySpec.native())
+
+    def boom():
+        yield cl.sim.timeout(0.1)
+        raise ValueError("kaput")
+
+    cl.sim.process(boom(), name="boomer")
+    with pytest.raises(SimulationError, match="boomer.*ValueError.*kaput"):
+        cl.run_for(1.0)
