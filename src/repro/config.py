@@ -12,7 +12,9 @@ the paper's results.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 __all__ = [
     "KB",
@@ -22,6 +24,7 @@ __all__ = [
     "StorageProfile",
     "HDD_PROFILE",
     "SSD_PROFILE",
+    "STORAGE_PROFILES",
     "ClusterConfig",
     "YarnConfig",
     "default_cluster",
@@ -88,6 +91,24 @@ class StorageProfile:
             return 0.0
         return self.peak_rate * n / (n + self.n_half)
 
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict form (every field explicit, JSON-ready)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any] | str") -> "StorageProfile":
+        """Build from a full field dict, or a named preset (``"hdd"``)."""
+        if isinstance(data, str):
+            try:
+                return STORAGE_PROFILES[data]
+            except KeyError:
+                raise ValueError(
+                    f"unknown storage profile {data!r}; "
+                    f"expected one of {sorted(STORAGE_PROFILES)}"
+                ) from None
+        return cls(**dict(data))
+
 
 # A 7.2K RPM SAS disk: ~160 MB/s streaming at depth, noticeable
 # per-request positioning overhead, symmetric read/write, and page-cache
@@ -118,6 +139,13 @@ SSD_PROFILE = StorageProfile(
     discipline="fcfs",
 )
 
+#: Named presets accepted wherever a profile is given declaratively
+#: (scenario JSON, the experiment CLI's ``--storage`` flag).
+STORAGE_PROFILES: dict[str, StorageProfile] = {
+    "hdd": HDD_PROFILE,
+    "ssd": SSD_PROFILE,
+}
+
 
 @dataclass(frozen=True)
 class YarnConfig:
@@ -133,6 +161,14 @@ class YarnConfig:
     reduce_task_memory: int = 8 * GB
     heartbeat_interval: float = 1.0    # NM -> RM heartbeat (piggybacks broker)
     max_task_attempts: int = 4         # mapreduce.map/reduce.maxattempts
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "YarnConfig":
+        return cls(**dict(data))
 
 
 @dataclass(frozen=True)
@@ -182,6 +218,34 @@ class ClusterConfig:
 
     def with_storage(self, profile: StorageProfile) -> "ClusterConfig":
         return replace(self, storage=profile)
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict form: every field explicit, nested dataclasses
+        expanded — so equal configurations always serialize identically
+        (the scenario layer's content hash relies on this)."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in ("storage", "yarn")
+        }
+        out["storage"] = self.storage.to_dict()
+        out["yarn"] = self.yarn.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterConfig":
+        """Inverse of :meth:`to_dict`.  Omitted fields keep their
+        defaults; ``storage`` also accepts a preset name (``"hdd"``)."""
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown ClusterConfig fields: {sorted(unknown)}")
+        if "storage" in payload:
+            payload["storage"] = StorageProfile.from_dict(payload["storage"])
+        if "yarn" in payload and not isinstance(payload["yarn"], YarnConfig):
+            payload["yarn"] = YarnConfig.from_dict(payload["yarn"])
+        return cls(**payload)
 
 
 def default_cluster(

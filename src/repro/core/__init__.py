@@ -23,7 +23,12 @@ from repro.core.base import IOScheduler, NativeScheduler, SchedulerStats
 from repro.core.broker import BrokerClient, SchedulingBroker
 from repro.core.cgroups import CgroupsThrottleScheduler, CgroupsWeightScheduler
 from repro.core.interposition import DataNodeIO
-from repro.core.policy import NodePolicy, PolicySpec, canonical_json
+from repro.core.policy import (
+    NodePolicy,
+    PolicySpec,
+    canonical_json,
+    policy_from_dict,
+)
 from repro.core.registry import (
     REGISTRY,
     PolicyInfo,
@@ -59,6 +64,7 @@ __all__ = [
     "SFQD2Scheduler",
     "canonical_json",
     "get_policy",
+    "policy_from_dict",
     "policy_names",
     "register_scheduler",
 ]

@@ -32,7 +32,7 @@ import repro.core.reservation   # noqa: F401  (reservation)
 from repro.core.sfqd2 import DepthController
 from repro.core.tags import IOClass
 
-__all__ = ["NodePolicy", "PolicySpec", "canonical_json"]
+__all__ = ["NodePolicy", "PolicySpec", "canonical_json", "policy_from_dict"]
 
 
 def canonical_json(payload: Any) -> str:
@@ -206,3 +206,18 @@ class NodePolicy:
     @classmethod
     def from_json(cls, text: str) -> "NodePolicy":
         return cls.from_dict(json.loads(text))
+
+
+def policy_from_dict(data: Mapping[str, Any]) -> "PolicySpec | NodePolicy":
+    """Parse a declarative policy: either one :class:`PolicySpec` dict
+    (``{"kind": ...}``, applied uniformly by the consumer) or a per-class
+    :class:`NodePolicy` dict keyed by the three I/O classes."""
+    if "kind" in data:
+        return PolicySpec.from_dict(data)
+    class_keys = {c.value for c in IOClass}
+    if set(data) == class_keys:
+        return NodePolicy.from_dict(data)
+    raise ValueError(
+        f"policy dict must carry 'kind' (uniform PolicySpec) or exactly "
+        f"the per-class keys {sorted(class_keys)}; got {sorted(data)}"
+    )

@@ -4,13 +4,18 @@ All experiments run at ``scale`` (default 1/64 of the paper's data
 volumes) on the simulated 8-worker testbed; paper-vs-measured notes for
 each are kept in EXPERIMENTS.md.
 
-Structure: every independent cluster run inside a figure is a
-module-level ``_*`` worker function wrapped in a picklable
-:class:`~repro.experiments.parallel.RunSpec` and executed through
-:func:`~repro.experiments.parallel.run_specs`.  With an active worker
-pool the variants of one figure run concurrently; results are merged in
-spec order, so the assembled :class:`ExperimentResult` is identical to
-a serial run (see parallel.py's determinism guarantee).
+Structure: every figure is now declarative — each independent cluster
+run is a :class:`~repro.scenario.Scenario` (topology + policy +
+workload + faults + measurement as one canonical-JSON value), built
+here or taken from :mod:`repro.scenario.library`, and executed through
+the picklable :func:`~repro.scenario.run_scenario` worker wrapped in a
+:class:`~repro.experiments.parallel.RunSpec`.  With an active worker
+pool the variants of one figure run concurrently; manifests are merged
+in spec order, so the assembled :class:`ExperimentResult` is identical
+to a serial run (see parallel.py's determinism guarantee).  The figure
+functions only *shape* manifest rows; any scenario can equally be
+serialised to JSON and re-run via ``python -m repro.experiments.run
+scenario <file.json>``.
 """
 
 from __future__ import annotations
@@ -19,7 +24,6 @@ import pathlib
 
 import numpy as np
 
-from repro.cluster import BigDataCluster
 from repro.config import (
     GB,
     MB,
@@ -30,28 +34,22 @@ from repro.config import (
 )
 from repro.core import NodePolicy, PolicySpec
 from repro.core.metrics import relative_performance, slowdown
-from repro.experiments.harness import (
-    ExperimentResult,
-    controller_for,
-    run_single_job,
-    total_throughput_mbs,
-)
+from repro.experiments.harness import ExperimentResult, controller_for
 from repro.experiments.parallel import RunSpec, run_specs
 from repro.faults import FaultEvent, FaultPlan
-from repro.hive import run_query, tpch_q9, tpch_q21
-from repro.telemetry import (
-    DEPTH_CHANGED,
-    REPLICA_FAILOVER,
-    TASK_RETRY,
-    CounterSink,
-    TimeSeriesSink,
-)
-from repro.workloads import (
-    facebook2009_trace,
-    teragen,
-    terasort,
-    teravalidate,
-    wordcount,
+from repro.hive import TPCH_QUERIES
+from repro.scenario import (
+    JobEntry,
+    MeasurementSpec,
+    PreloadSpec,
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+    run_scenario,
+    single_app,
+    wc_alone,
+    wc_teragen_isolation,
+    weighted_scan_pair,
 )
 
 __all__ = [
@@ -83,29 +81,27 @@ _BIG_SORT = 400 * GB
 _THROTTLE_BPS = 48.0 * MB
 
 
+def _run_all(scenarios: list[Scenario]) -> list:
+    """Fan the scenarios out over the worker pool, manifests in order."""
+    return run_specs([
+        RunSpec.of(run_scenario, s, label=s.name) for s in scenarios
+    ])
+
+
 # --------------------------------------------------------------------- Fig 2
-def _fig2_profile(config: ClusterConfig, app: str) -> dict:
-    """One app running alone: per-second read/write MB/s + runtime."""
+def _fig2_scenario(config: ClusterConfig, app: str) -> Scenario:
+    """One app running alone with the full cluster, profiled per second."""
     if app == "terasort":
-        spec = terasort(config, "/in/tera", input_bytes=100 * GB)
-        preloads = {"/in/tera": 100 * GB}
+        params = {"input_path": "/in/tera", "input_bytes": 100 * GB}
+        preloads = (("/in/tera", 100 * GB),)
     else:
-        spec = wordcount(config, "/in/wiki")
-        preloads = {"/in/wiki": 50 * GB}
-    job, cluster = run_single_job(
-        config, PolicySpec.native(), spec, preloads, max_cores=None
+        params = {"input_path": "/in/wiki"}
+        preloads = (("/in/wiki", 50 * GB),)
+    return single_app(
+        config, PolicySpec.native(), app,
+        name=f"fig2:{app}", params=params, preloads=preloads,
+        metrics=("runtime", "device_series"), window="min_finish",
     )
-    t_end = job.finish_time
-    out = {"runtime": job.runtime, "series": {}}
-    for op in ("read", "write"):
-        agg = np.zeros(max(1, int(np.ceil(t_end)) + 1))
-        times = np.arange(len(agg), dtype=float)
-        for meter in cluster.device_meters(op):
-            ts = meter.rate_series(bucket=1.0, t_end=t_end + 1.0)
-            vals = np.asarray(ts.values)
-            agg[: len(vals)] += vals / MB
-        out["series"][op] = (times.tolist(), agg.tolist())
-    return out
 
 
 def fig2_io_profiles(config: ClusterConfig | None = None) -> ExperimentResult:
@@ -114,38 +110,40 @@ def fig2_io_profiles(config: ClusterConfig | None = None) -> ExperimentResult:
     config = config or default_cluster()
     result = ExperimentResult("fig2_io_profiles")
     apps = ("terasort", "wordcount")
-    runs = run_specs([
-        RunSpec.of(_fig2_profile, config, app, label=f"fig2:{app}")
-        for app in apps
-    ])
-    for label, run in zip(apps, runs):
+    runs = _run_all([_fig2_scenario(config, app) for app in apps])
+    for label, man in zip(apps, runs):
         for op in ("read", "write"):
-            result.series[f"{label}:{op}"] = run["series"][op]
-        result.row(app=label, runtime=run["runtime"],
+            result.series[f"{label}:{op}"] = man.series[op]
+        result.row(app=label, runtime=man.runtime(label),
                    peak_read=float(max(result.series[f"{label}:read"][1])),
                    peak_write=float(max(result.series[f"{label}:write"][1])))
     return result
 
 
 # --------------------------------------------------------------------- Fig 3
-def _fig3_wc_run(config: ClusterConfig, interferer: str | None) -> float:
-    """WC runtime (CPU fixed at half the cluster) vs one interferer."""
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/wiki", 50 * GB)
-    wc = cluster.submit(wordcount(config, "/in/wiki"),
-                        io_weight=1.0, max_cores=48)
+def _fig3_scenario(config: ClusterConfig, interferer: str | None) -> Scenario:
+    """WC (CPU fixed at half the cluster) vs one interferer."""
+    preloads = [PreloadSpec("/in/wiki", 50 * GB)]
+    jobs = [JobEntry(app="wordcount", io_weight=1.0, max_cores=48,
+                     params={"input_path": "/in/wiki"})]
     if interferer == "teravalidate":
-        cluster.preload_input("/in/sorted", _BIG_SORT)
-        cluster.submit(teravalidate(config, "/in/sorted"),
-                       io_weight=1.0, max_cores=48)
+        preloads.append(PreloadSpec("/in/sorted", _BIG_SORT))
+        jobs.append(JobEntry(app="teravalidate", io_weight=1.0, max_cores=48,
+                             params={"input_path": "/in/sorted"}))
     elif interferer == "teragen":
-        cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
+        jobs.append(JobEntry(app="teragen", io_weight=1.0, max_cores=48))
     elif interferer == "terasort":
-        cluster.preload_input("/in/tera", _BIG_SORT)
-        cluster.submit(terasort(config, "/in/tera", input_bytes=_BIG_SORT),
-                       io_weight=1.0, max_cores=48)
-    cluster.run(wc.done)
-    return wc.runtime
+        preloads.append(PreloadSpec("/in/tera", _BIG_SORT))
+        jobs.append(JobEntry(app="terasort", io_weight=1.0, max_cores=48,
+                             params={"input_path": "/in/tera",
+                                     "input_bytes": _BIG_SORT}))
+    return Scenario(
+        name=f"fig3:wc+{interferer or 'alone'}",
+        cluster=config,
+        policy=PolicySpec.native(),
+        workload=WorkloadSpec(jobs=tuple(jobs), preloads=tuple(preloads)),
+        measure=MeasurementSpec(until=("wordcount",)),
+    )
 
 
 def fig3_contention(config: ClusterConfig | None = None) -> ExperimentResult:
@@ -154,58 +152,17 @@ def fig3_contention(config: ClusterConfig | None = None) -> ExperimentResult:
     config = config or default_cluster()
     result = ExperimentResult(f"fig3_contention_{config.storage.name}")
     interferers: list[str | None] = [None, "teravalidate", "teragen", "terasort"]
-    runtimes = run_specs([
-        RunSpec.of(_fig3_wc_run, config, who, label=f"fig3:wc+{who or 'alone'}")
-        for who in interferers
-    ])
-    standalone = runtimes[0]
+    runs = _run_all([_fig3_scenario(config, who) for who in interferers])
+    standalone = runs[0].runtime("wordcount")
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0)
-    for who, rt in zip(interferers[1:], runtimes[1:]):
+    for who, man in zip(interferers[1:], runs[1:]):
+        rt = man.runtime("wordcount")
         result.row(case=f"wc+{who}", runtime=rt,
                    slowdown=slowdown(rt, standalone))
     return result
 
 
 # --------------------------------------------------------------------- Fig 6
-def _isolation_workload(cluster: BigDataCluster, config: ClusterConfig,
-                        io_weight: float = 32.0):
-    """Submit and run WC (weighted) + TeraGen on a prepared cluster;
-    returns the WC job.  Split from :func:`_isolation_run` so callers
-    (Fig. 7) can attach telemetry sinks to ``cluster.telemetry`` first."""
-    cluster.preload_input("/in/wiki", 50 * GB)
-    wc = cluster.submit(wordcount(config, "/in/wiki"),
-                        io_weight=io_weight, max_cores=48)
-    cluster.submit(teragen(config), io_weight=1.0, max_cores=48)
-    cluster.run(wc.done)
-    return wc
-
-
-def _isolation_run(config, policy, io_weight=32.0):
-    """WC (weighted) + TeraGen on the given policy; returns the WC job
-    and the cluster (for throughput accounting)."""
-    cluster = BigDataCluster(config, policy)
-    wc = _isolation_workload(cluster, config, io_weight=io_weight)
-    return wc, cluster
-
-
-def _wc_alone(config: ClusterConfig) -> float:
-    """WC standalone at full weight, half the cluster's cores."""
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/wiki", 50 * GB)
-    wc = cluster.submit(wordcount(config, "/in/wiki"),
-                        io_weight=1.0, max_cores=48)
-    cluster.run()
-    return wc.runtime
-
-
-def _isolation_case(
-    config: ClusterConfig, policy: PolicySpec | NodePolicy
-) -> tuple[float, float]:
-    """One WC+TG isolation run -> (wc runtime, aggregate MB/s)."""
-    wc, cluster = _isolation_run(config, policy)
-    return wc.runtime, total_throughput_mbs(cluster, wc.finish_time)
-
-
 def fig6_isolation_hdd(config: ClusterConfig | None = None) -> ExperimentResult:
     """Fig. 6a/6b: WC+TG under native, SFQ(D=12/8/4/2), and SFQ(D2),
     with the 32:1 sharing ratio favouring WordCount (HDD setup)."""
@@ -216,16 +173,20 @@ def fig6_isolation_hdd(config: ClusterConfig | None = None) -> ExperimentResult:
     cases += [(f"sfq(d={d})", PolicySpec.sfqd(depth=d)) for d in (12, 8, 4, 2)]
     cases.append(("sfq(d2)", PolicySpec.sfqd2(controller_for(config))))
 
-    specs = [RunSpec.of(_wc_alone, config, label="fig6:wc_alone")]
-    specs += [RunSpec.of(_isolation_case, config, policy, label=f"fig6:{label}")
-              for label, policy in cases]
-    outcomes = run_specs(specs)
+    scenarios = [wc_alone(config, name="fig6:wc_alone")]
+    scenarios += [
+        wc_teragen_isolation(config, policy, name=f"fig6:{label}")
+        for label, policy in cases
+    ]
+    runs = _run_all(scenarios)
 
-    standalone = outcomes[0]
+    standalone = runs[0].runtime("wordcount")
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
                throughput_mbs=None, throughput_loss=None)
-    native_thr = outcomes[1][1]
-    for (label, _policy), (runtime, thr) in zip(cases, outcomes[1:]):
+    native_thr = runs[1].summary["throughput_mbs"]
+    for (label, _policy), man in zip(cases, runs[1:]):
+        runtime = man.runtime("wordcount")
+        thr = man.summary["throughput_mbs"]
         result.row(case=label, runtime=runtime,
                    slowdown=slowdown(runtime, standalone),
                    throughput_mbs=thr,
@@ -240,38 +201,33 @@ def fig7_depth_adaptation(config: ClusterConfig | None = None) -> ExperimentResu
 
     Observed purely over the cluster's telemetry bus: the scheduler at
     ``dn00:persistent`` publishes one ``depth_changed`` event per control
-    period, and two :class:`TimeSeriesSink` subscriptions reconstruct
-    the paper's D and latency traces — no scheduler internals touched.
+    period, and the runner's ``depth_trace`` metric reconstructs the
+    paper's D and latency traces — no scheduler internals touched.
     """
     config = config or default_cluster()
     result = ExperimentResult("fig7_depth_adaptation")
     ctrl = controller_for(config)
-    cluster = BigDataCluster(config, PolicySpec.sfqd2(ctrl))
-    depth_sink = TimeSeriesSink(
-        cluster.telemetry, DEPTH_CHANGED, source="dn00:persistent",
-        value=lambda ev: ev.depth, name="fig7:depth",
+    scenario = wc_teragen_isolation(
+        config, PolicySpec.sfqd2(ctrl), name="fig7",
+        metrics=("runtime", "depth_trace"),
+        options={"depth_source": "dn00:persistent"},
     )
-    latency_sink = TimeSeriesSink(
-        cluster.telemetry, DEPTH_CHANGED, source="dn00:persistent",
-        value=lambda ev: ev.latency, when=lambda ev: ev.samples > 0,
-        name="fig7:latency",
-    )
-    _isolation_workload(cluster, config)
-    depth, latency = depth_sink.series, latency_sink.series
-    result.series["depth"] = (list(depth.times), list(depth.values))
+    man = ScenarioRunner().run(scenario)
+    d_times, d_vals = man.series["depth"]
+    l_times, l_vals = man.series["latency"]
+    result.series["depth"] = (list(d_times), list(d_vals))
     result.series["latency_ms"] = (
-        list(latency.times),
-        [v * 1000.0 for v in latency.values],
+        list(l_times),
+        [v * 1000.0 for v in l_vals],
     )
-    d_vals = depth.values
     result.row(
         samples=len(d_vals),
         d_min=float(min(d_vals)),
         d_max=float(max(d_vals)),
         d_mean=float(np.mean(d_vals)),
         lref_ms=ctrl.ref_latency_read * 1000.0,
-        latency_p95_ms=float(np.percentile(latency.values, 95)) * 1000.0
-        if len(latency) else None,
+        latency_p95_ms=float(np.percentile(l_vals, 95)) * 1000.0
+        if len(l_vals) else None,
     )
     return result
 
@@ -284,20 +240,20 @@ def fig8_isolation_ssd(config: ClusterConfig | None = None) -> ExperimentResult:
     result = ExperimentResult("fig8_isolation_ssd")
     ctrl = controller_for(config)
 
-    outcomes = run_specs([
-        RunSpec.of(_wc_alone, config, label="fig8:wc_alone"),
-        RunSpec.of(_isolation_case, config, PolicySpec.native(),
-                   label="fig8:native"),
-        RunSpec.of(_isolation_case, config, PolicySpec.sfqd2(ctrl),
-                   label="fig8:sfq(d2)"),
+    runs = _run_all([
+        wc_alone(config, name="fig8:wc_alone"),
+        wc_teragen_isolation(config, PolicySpec.native(), name="fig8:native"),
+        wc_teragen_isolation(config, PolicySpec.sfqd2(ctrl),
+                             name="fig8:sfq(d2)"),
     ])
-    standalone = outcomes[0]
+    standalone = runs[0].runtime("wordcount")
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
                throughput_mbs=None)
-    for label, (runtime, thr) in zip(("native", "sfq(d2)"), outcomes[1:]):
+    for label, man in zip(("native", "sfq(d2)"), runs[1:]):
+        runtime = man.runtime("wordcount")
         result.row(case=label, runtime=runtime,
                    slowdown=slowdown(runtime, standalone),
-                   throughput_mbs=thr)
+                   throughput_mbs=man.summary["throughput_mbs"])
     result.notes.append(
         f"SSD split references: read {ctrl.ref_latency_read * 1000:.1f} ms, "
         f"write {ctrl.ref_latency_write * 1000:.1f} ms"
@@ -337,40 +293,41 @@ def mixed_policy_ablation(config: ClusterConfig | None = None) -> ExperimentResu
         ("ibis-uniform", NodePolicy.uniform(ibis)),
     ]
 
-    specs = [RunSpec.of(_wc_alone, config, label="mixed:wc_alone")]
-    specs += [RunSpec.of(_isolation_case, config, policy,
-                         label=f"mixed:{label}") for label, policy in cases]
-    outcomes = run_specs(specs)
+    scenarios = [wc_alone(config, name="mixed:wc_alone")]
+    scenarios += [
+        wc_teragen_isolation(config, policy, name=f"mixed:{label}")
+        for label, policy in cases
+    ]
+    runs = _run_all(scenarios)
 
-    standalone = outcomes[0]
+    standalone = runs[0].runtime("wordcount")
     result.row(case="wc_alone", runtime=standalone, slowdown=0.0,
                throughput_mbs=None, policy=None)
-    for (label, policy), (runtime, thr) in zip(cases, outcomes[1:]):
+    for (label, policy), man in zip(cases, runs[1:]):
+        runtime = man.runtime("wordcount")
         result.row(case=label, runtime=runtime,
                    slowdown=slowdown(runtime, standalone),
-                   throughput_mbs=thr,
+                   throughput_mbs=man.summary["throughput_mbs"],
                    policy=policy.to_json())
     return result
 
 
 # --------------------------------------------------------------------- Fig 9
-def _fig9_trace(config: ClusterConfig, policy: PolicySpec,
-                with_teragen: bool, n_jobs: int) -> list[float]:
-    """One Facebook2009 trace replay -> sorted job runtimes."""
-    trace = facebook2009_trace(config, n_jobs=n_jobs)
-    cluster = BigDataCluster(config, policy)
-    fb_jobs = []
-    for sj in trace:
-        cluster.preload_input(sj.spec.input_path, sj.input_bytes)
-        fb_jobs.append(
-            cluster.submit(sj.spec, io_weight=32.0, max_cores=48,
-                           delay=sj.arrival)
-        )
+def _fig9_scenario(config: ClusterConfig, label: str, policy: PolicySpec,
+                   with_teragen: bool, n_jobs: int) -> Scenario:
+    """One Facebook2009 trace replay, optionally against TeraGen."""
+    jobs = [JobEntry(app="swim", name="facebook2009", io_weight=32.0,
+                     max_cores=48, params={"n_jobs": n_jobs})]
     if with_teragen:
-        cluster.submit(teragen(config, output_bytes=4 * TB),
-                       io_weight=1.0, max_cores=48)
-    cluster.run(*[j.done for j in fb_jobs])
-    return sorted(j.runtime for j in fb_jobs)
+        jobs.append(JobEntry(app="teragen", io_weight=1.0, max_cores=48,
+                             params={"output_bytes": 4 * TB}))
+    return Scenario(
+        name=f"fig9:{label}",
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(jobs=tuple(jobs)),
+        measure=MeasurementSpec(until=("facebook2009",)),
+    )
 
 
 def fig9_facebook(
@@ -385,12 +342,14 @@ def fig9_facebook(
         ("interfered", PolicySpec.native(), True),
         ("sfq(d2)", PolicySpec.sfqd2(controller_for(config)), True),
     ]
-    traces = run_specs([
-        RunSpec.of(_fig9_trace, config, policy, with_tg, n_jobs,
-                   label=f"fig9:{label}")
+    runs = _run_all([
+        _fig9_scenario(config, label, policy, with_tg, n_jobs)
         for label, policy, with_tg in cases
     ])
-    for (label, _policy, _with_tg), runtimes in zip(cases, traces):
+    for (label, _policy, _with_tg), man in zip(cases, runs):
+        runtimes = sorted(
+            row["runtime"] for row in man.job_rows("facebook2009")
+        )
         cdf_y = [(i + 1) / len(runtimes) for i in range(len(runtimes))]
         result.series[label] = (runtimes, cdf_y)
         result.row(case=label,
@@ -401,38 +360,42 @@ def fig9_facebook(
 
 
 # -------------------------------------------------------------------- Fig 10
-_FIG10_QUERIES = {"q21": tpch_q21, "q9": tpch_q9}
+def _fig10_ts_solo(config: ClusterConfig) -> Scenario:
+    return single_app(
+        config, PolicySpec.native(), "terasort", name="fig10:ts_solo",
+        params={"input_path": "/in/tera"},
+        preloads=(("/in/tera", 100 * GB),), max_cores=96,
+    )
 
 
-def _fig10_ts_standalone(config: ClusterConfig) -> float:
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/tera", 100 * GB)
-    ts = cluster.submit(terasort(config, "/in/tera"), max_cores=96)
-    cluster.run()
-    return ts.runtime
-
-
-def _fig10_q_standalone(config: ClusterConfig, qname: str) -> float:
-    cluster = BigDataCluster(config, PolicySpec.native())
-    q = _FIG10_QUERIES[qname](config)
-    cluster.preload_input(q.table_paths[0], q.table_bytes[0])
-    run = run_query(cluster, q, max_cores=96)
-    cluster.run(run.done)
-    return run.runtime
-
-
-def _fig10_contend(config: ClusterConfig, qname: str, policy: PolicySpec,
-                   io_weight: float) -> tuple[float, float]:
-    """TPC-H query vs TeraSort under one policy -> (query, TS) runtimes."""
-    cluster = BigDataCluster(config, policy)
-    q = _FIG10_QUERIES[qname](config)
-    cluster.preload_input(q.table_paths[0], q.table_bytes[0])
-    cluster.preload_input("/in/tera", 100 * GB)
-    run = run_query(cluster, q, io_weight=io_weight, max_cores=48)
-    ts = cluster.submit(terasort(config, "/in/tera"),
-                        io_weight=1.0, max_cores=48)
-    cluster.run(run.done, ts.done)
-    return run.runtime, ts.runtime
+def _fig10_query_scenario(
+    config: ClusterConfig,
+    qname: str,
+    policy: PolicySpec,
+    io_weight: float = 1.0,
+    max_cores: int = 96,
+    with_terasort: bool = False,
+    name: str = "",
+) -> Scenario:
+    """A TPC-H query (entry named after the query), alone or contending
+    with TeraSort under one policy."""
+    query = TPCH_QUERIES[qname](config)
+    preloads = [PreloadSpec(query.table_paths[0], query.table_bytes[0])]
+    jobs = [JobEntry(app="hive", name=qname, io_weight=io_weight,
+                     max_cores=max_cores, params={"query": qname})]
+    until = [qname]
+    if with_terasort:
+        preloads.append(PreloadSpec("/in/tera", 100 * GB))
+        jobs.append(JobEntry(app="terasort", io_weight=1.0, max_cores=48,
+                             params={"input_path": "/in/tera"}))
+        until.append("terasort")
+    return Scenario(
+        name=name or f"fig10:{qname}_solo",
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(jobs=tuple(jobs), preloads=tuple(preloads)),
+        measure=MeasurementSpec(until=tuple(until)),
+    )
 
 
 def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResult:
@@ -449,28 +412,33 @@ def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResul
          100.0),
         ("ibis-100:1", PolicySpec.sfqd2(ctrl), 100.0),
     ]
-    qnames = list(_FIG10_QUERIES)
+    qnames = ["q21", "q9"]
 
-    specs = [RunSpec.of(_fig10_ts_standalone, config, label="fig10:ts_solo")]
-    specs += [RunSpec.of(_fig10_q_standalone, config, qname,
-                         label=f"fig10:{qname}_solo") for qname in qnames]
-    specs += [
-        RunSpec.of(_fig10_contend, config, qname, policy, w,
-                   label=f"fig10:{qname}+{label}")
+    scenarios = [_fig10_ts_solo(config)]
+    scenarios += [_fig10_query_scenario(config, qname, PolicySpec.native())
+                  for qname in qnames]
+    scenarios += [
+        _fig10_query_scenario(
+            config, qname, policy, io_weight=w, max_cores=48,
+            with_terasort=True, name=f"fig10:{qname}+{label}",
+        )
         for qname in qnames
         for label, policy, w in policies
     ]
-    outcomes = run_specs(specs)
+    runs = _run_all(scenarios)
 
-    ts_solo = outcomes[0]
-    q_solos = dict(zip(qnames, outcomes[1:1 + len(qnames)]))
-    contend = iter(outcomes[1 + len(qnames):])
+    ts_solo = runs[0].runtime("terasort")
+    q_solos = {
+        qname: man.runtime(qname)
+        for qname, man in zip(qnames, runs[1:1 + len(qnames)])
+    }
+    contend = iter(runs[1 + len(qnames):])
     for qname in qnames:
         solo = q_solos[qname]
         for label, _policy, _w in policies:
-            q_rt, ts_rt = next(contend)
-            q_rel = relative_performance(q_rt, solo)
-            ts_rel = relative_performance(ts_rt, ts_solo)
+            man = next(contend)
+            q_rel = relative_performance(man.runtime(qname), solo)
+            ts_rel = relative_performance(man.runtime("terasort"), ts_solo)
             result.row(query=qname, case=label,
                        query_rel_perf=q_rel, ts_rel_perf=ts_rel,
                        avg_rel_perf=(q_rel + ts_rel) / 2.0)
@@ -478,25 +446,33 @@ def fig10_multiframework(config: ClusterConfig | None = None) -> ExperimentResul
 
 
 # -------------------------------------------------------------------- Fig 11
-def _fig11_solo(config: ClusterConfig, which: str, cores: int = 96) -> float:
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input("/in/tera", 100 * GB)
-    spec = teragen(config) if which == "teragen" else terasort(config, "/in/tera")
-    j = cluster.submit(spec, max_cores=cores)
-    cluster.run()
-    return j.runtime
+def _fig11_solo(config: ClusterConfig, which: str, cores: int = 96) -> Scenario:
+    params = ({} if which == "teragen"
+              else {"input_path": "/in/tera"})
+    short = "tg" if which == "teragen" else "ts"
+    return single_app(
+        config, PolicySpec.native(), which, name=f"fig11:{short}_solo",
+        params=params, preloads=(("/in/tera", 100 * GB),), max_cores=cores,
+    )
 
 
 def _fig11_pair(config: ClusterConfig, policy: PolicySpec, ts_cores: int,
-                tg_cores: int, ts_w: float, tg_w: float) -> tuple[float, float]:
-    """TS + TG sharing the cluster -> (TS runtime, TG runtime)."""
-    cluster = BigDataCluster(config, policy)
-    cluster.preload_input("/in/tera", 100 * GB)
-    ts = cluster.submit(terasort(config, "/in/tera"),
-                        io_weight=ts_w, max_cores=ts_cores)
-    tg = cluster.submit(teragen(config), io_weight=tg_w, max_cores=tg_cores)
-    cluster.run()
-    return ts.runtime, tg.runtime
+                tg_cores: int, ts_w: float, tg_w: float,
+                label: str) -> Scenario:
+    """TS + TG sharing the cluster under one CPU/IO split."""
+    return Scenario(
+        name=f"fig11:{label}",
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(
+                JobEntry(app="terasort", io_weight=ts_w, max_cores=ts_cores,
+                         params={"input_path": "/in/tera"}),
+                JobEntry(app="teragen", io_weight=tg_w, max_cores=tg_cores),
+            ),
+            preloads=(PreloadSpec("/in/tera", 100 * GB),),
+        ),
+    )
 
 
 def fig11_proportional_slowdown(
@@ -518,29 +494,33 @@ def fig11_proportional_slowdown(
                  for ts_cores in (64, 56, 48)
                  for io_ratio in (2.0, 4.0, 8.0)]
 
-    specs = [RunSpec.of(_fig11_solo, config, "terasort", label="fig11:ts_solo"),
-             RunSpec.of(_fig11_solo, config, "teragen", label="fig11:tg_solo")]
-    specs += [RunSpec.of(_fig11_pair, config, policy, tsc, tgc, tsw, tgw,
-                         label=f"fig11:{label}")
-              for policy, tsc, tgc, tsw, tgw, label in fs_grid + ibis_grid]
-    outcomes = run_specs(specs)
+    scenarios = [_fig11_solo(config, "terasort"),
+                 _fig11_solo(config, "teragen")]
+    scenarios += [
+        _fig11_pair(config, policy, tsc, tgc, tsw, tgw, label)
+        for policy, tsc, tgc, tsw, tgw, label in fs_grid + ibis_grid
+    ]
+    runs = _run_all(scenarios)
 
-    ts_solo, tg_solo = outcomes[0], outcomes[1]
-    pair_runtimes = outcomes[2:]
+    ts_solo = runs[0].runtime("terasort")
+    tg_solo = runs[1].runtime("teragen")
+    pairs = runs[2:]
 
-    def best(grid, runtimes):
-        candidates = [
-            (abs(slowdown(ts_rt, ts_solo) - slowdown(tg_rt, tg_solo)),
-             slowdown(ts_rt, ts_solo), slowdown(tg_rt, tg_solo), label)
-            for (_p, _tc, _gc, _tw, _gw, label), (ts_rt, tg_rt)
-            in zip(grid, runtimes)
-        ]
+    def best(grid, manifests):
+        candidates = []
+        for (_p, _tc, _gc, _tw, _gw, label), man in zip(grid, manifests):
+            ts_rt = man.runtime("terasort")
+            tg_rt = man.runtime("teragen")
+            candidates.append(
+                (abs(slowdown(ts_rt, ts_solo) - slowdown(tg_rt, tg_solo)),
+                 slowdown(ts_rt, ts_solo), slowdown(tg_rt, tg_solo), label)
+            )
         return min(candidates)
 
-    gap, t, g, label = best(fs_grid, pair_runtimes[: len(fs_grid)])
+    gap, t, g, label = best(fs_grid, pairs[: len(fs_grid)])
     result.row(case=f"cpu only ({label})", ts_slowdown=t, tg_slowdown=g,
                gap=gap, avg=(t + g) / 2)
-    gap, t, g, label = best(ibis_grid, pair_runtimes[len(fs_grid):])
+    gap, t, g, label = best(ibis_grid, pairs[len(fs_grid):])
     result.row(case=f"cpu+ibis ({label})", ts_slowdown=t, tg_slowdown=g,
                gap=gap, avg=(t + g) / 2)
     return result
@@ -551,46 +531,66 @@ def _fig12_skew_nodes(config: ClusterConfig) -> list[str]:
     return [f"dn{i:02d}" for i in range(config.n_workers // 2)]
 
 
-def _fig12_windowed_ratio(config: ClusterConfig, policy: PolicySpec,
-                          window: float = 8.0) -> float:
-    """Total-service ratio (wide/hot) over a fixed window (target 1.0)."""
-    skew_nodes = _fig12_skew_nodes(config)
-    cluster = BigDataCluster(config, policy)
-    cluster.preload_input("/in/hot", 800 * GB, nodes=skew_nodes)
-    cluster.preload_input("/in/wide", 800 * GB)
-    cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
-                   io_weight=1.0, max_cores=48)
-    cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
-                   io_weight=1.0, max_cores=48)
-    cluster.run_for(window)
-    svc = cluster.total_service_by_app()
-    hot = next(v for k, v in svc.items() if "hot" in k)
-    wide = next(v for k, v in svc.items() if "wide" in k)
-    return wide / hot
+def _fig12_scan(name: str, io_weight: float, max_cores: int) -> JobEntry:
+    return JobEntry(app="teravalidate", name=name, io_weight=io_weight,
+                    max_cores=max_cores,
+                    params={"input_path": f"/in/{name[5:]}"})
 
 
-def _fig12_solo(config: ClusterConfig, path: str, skewed: bool,
-                name: str) -> float:
-    cluster = BigDataCluster(config, PolicySpec.native())
-    cluster.preload_input(path, 200 * GB,
-                          nodes=_fig12_skew_nodes(config) if skewed else None)
-    j = cluster.submit(teravalidate(config, path, name=name), max_cores=96)
-    cluster.run()
-    return j.runtime
+def _fig12_ratio_scenario(config: ClusterConfig, policy: PolicySpec,
+                          label: str, window: float = 8.0) -> Scenario:
+    """Skewed + wide scans over a fixed window (service-ratio probe)."""
+    return Scenario(
+        name=f"fig12:ratio:{label}",
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(_fig12_scan("scan-hot", 1.0, 48),
+                  _fig12_scan("scan-wide", 1.0, 48)),
+            preloads=(
+                PreloadSpec("/in/hot", 800 * GB,
+                            nodes=tuple(_fig12_skew_nodes(config))),
+                PreloadSpec("/in/wide", 800 * GB),
+            ),
+        ),
+        measure=MeasurementSpec(horizon=window, metrics=("total_service",)),
+    )
 
 
-def _fig12_pair(config: ClusterConfig, policy: PolicySpec) -> tuple[float, float]:
-    """Skewed + wide scans sharing the cluster -> their runtimes."""
-    skew_nodes = _fig12_skew_nodes(config)
-    cluster = BigDataCluster(config, policy)
-    cluster.preload_input("/in/hot", 200 * GB, nodes=skew_nodes)
-    cluster.preload_input("/in/wide", 200 * GB)
-    hot = cluster.submit(teravalidate(config, "/in/hot", name="scan-hot"),
-                         io_weight=1.0, max_cores=48)
-    wide = cluster.submit(teravalidate(config, "/in/wide", name="scan-wide"),
-                          io_weight=1.0, max_cores=48)
-    cluster.run()
-    return hot.runtime, wide.runtime
+def _fig12_solo_scenario(config: ClusterConfig, path: str, skewed: bool,
+                         name: str) -> Scenario:
+    return Scenario(
+        name=f"fig12:{name}_solo",
+        cluster=config,
+        policy=PolicySpec.native(),
+        workload=WorkloadSpec(
+            jobs=(JobEntry(app="teravalidate", name=name, max_cores=96,
+                           params={"input_path": path}),),
+            preloads=(PreloadSpec(
+                path, 200 * GB,
+                nodes=tuple(_fig12_skew_nodes(config)) if skewed else (),
+            ),),
+        ),
+    )
+
+
+def _fig12_pair_scenario(config: ClusterConfig, policy: PolicySpec,
+                         label: str) -> Scenario:
+    """Skewed + wide scans sharing the cluster, both run to completion."""
+    return Scenario(
+        name=f"fig12:pair:{label}",
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(_fig12_scan("scan-hot", 1.0, 48),
+                  _fig12_scan("scan-wide", 1.0, 48)),
+            preloads=(
+                PreloadSpec("/in/hot", 200 * GB,
+                            nodes=tuple(_fig12_skew_nodes(config))),
+                PreloadSpec("/in/wide", 200 * GB),
+            ),
+        ),
+    )
 
 
 def fig12_coordination(config: ClusterConfig | None = None) -> ExperimentResult:
@@ -608,57 +608,60 @@ def fig12_coordination(config: ClusterConfig | None = None) -> ExperimentResult:
     ctrl = controller_for(config)
     modes = [(False, "no sync"), (True, "sync")]
 
-    specs = [
-        RunSpec.of(_fig12_windowed_ratio, config,
-                   PolicySpec.sfqd2(ctrl, coordinated=coordinated),
-                   label=f"fig12:ratio:{label}")
+    scenarios = [
+        _fig12_ratio_scenario(
+            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated), label
+        )
         for coordinated, label in modes
     ]
-    specs += [
-        RunSpec.of(_fig12_solo, config, "/in/hot", True, "scan-hot",
-                   label="fig12:hot_solo"),
-        RunSpec.of(_fig12_solo, config, "/in/wide", False, "scan-wide",
-                   label="fig12:wide_solo"),
+    scenarios += [
+        _fig12_solo_scenario(config, "/in/hot", True, "scan-hot"),
+        _fig12_solo_scenario(config, "/in/wide", False, "scan-wide"),
     ]
-    specs += [
-        RunSpec.of(_fig12_pair, config,
-                   PolicySpec.sfqd2(ctrl, coordinated=coordinated),
-                   label=f"fig12:pair:{label}")
+    scenarios += [
+        _fig12_pair_scenario(
+            config, PolicySpec.sfqd2(ctrl, coordinated=coordinated), label
+        )
         for coordinated, label in modes
     ]
-    outcomes = run_specs(specs)
+    runs = _run_all(scenarios)
 
-    ratios = outcomes[:2]
-    hot_solo, wide_solo = outcomes[2], outcomes[3]
-    pairs = outcomes[4:]
-    for (coordinated, label), ratio, (hot_rt, wide_rt) in zip(modes, ratios, pairs):
+    def windowed_ratio(man) -> float:
+        svc = man.summary["total_service"]
+        hot = next(v for k, v in svc.items() if "hot" in k)
+        wide = next(v for k, v in svc.items() if "wide" in k)
+        return wide / hot
+
+    ratios = [windowed_ratio(man) for man in runs[:2]]
+    hot_solo = runs[2].runtime("scan-hot")
+    wide_solo = runs[3].runtime("scan-wide")
+    pairs = runs[4:]
+    for (coordinated, label), ratio, man in zip(modes, ratios, pairs):
         result.row(case=label,
                    total_service_ratio=ratio,
                    ratio_error=abs(ratio - 1.0),
-                   hot_slowdown=slowdown(hot_rt, hot_solo),
-                   wide_slowdown=slowdown(wide_rt, wide_solo))
+                   hot_slowdown=slowdown(man.runtime("scan-hot"), hot_solo),
+                   wide_slowdown=slowdown(man.runtime("scan-wide"), wide_solo))
     return result
 
 
 # -------------------------------------------------------------------- Fig 13
-def _single_app_run(config: ClusterConfig, app: str,
-                    policy: PolicySpec) -> float:
-    """One app alone with the full cluster -> runtime (Fig. 13)."""
-    job, _cluster = _single_app_job(config, app, policy)
-    return job.runtime
-
-
-def _single_app_job(config: ClusterConfig, app: str, policy: PolicySpec):
-    preloads = {}
+def _single_app_scenario(config: ClusterConfig, app: str,
+                         policy: "PolicySpec | NodePolicy", label: str,
+                         metrics: tuple[str, ...] = ("runtime",)) -> Scenario:
+    """One app alone with the full cluster (Fig. 13, Tab. 2)."""
+    preloads = []
+    params = {}
     if app == "wordcount":
-        preloads["/in/wiki"] = 50 * GB
-        spec = wordcount(config, "/in/wiki")
+        preloads.append(("/in/wiki", 50 * GB))
+        params["input_path"] = "/in/wiki"
     elif app == "terasort":
-        preloads["/in/tera"] = 100 * GB
-        spec = terasort(config, "/in/tera")
-    else:
-        spec = teragen(config)
-    return run_single_job(config, policy, spec, preloads, max_cores=96)
+        preloads.append(("/in/tera", 100 * GB))
+        params["input_path"] = "/in/tera"
+    return single_app(
+        config, policy, app, name=label, params=params,
+        preloads=tuple(preloads), max_cores=96, metrics=metrics,
+    )
 
 
 def fig13_overhead(config: ClusterConfig | None = None) -> ExperimentResult:
@@ -669,34 +672,22 @@ def fig13_overhead(config: ClusterConfig | None = None) -> ExperimentResult:
     ctrl = controller_for(config)
     apps = ("wordcount", "teragen", "terasort")
 
-    runtimes = run_specs([
-        RunSpec.of(_single_app_run, config, app, policy,
-                   label=f"fig13:{app}:{label}")
+    runs = _run_all([
+        _single_app_scenario(config, app, policy, f"fig13:{app}:{label}")
         for app in apps
         for policy, label in ((PolicySpec.native(), "native"),
                               (PolicySpec.sfqd2(ctrl), "ibis"))
     ])
-    it = iter(runtimes)
+    it = iter(runs)
     for app in apps:
-        rt_native, rt_ibis = next(it), next(it)
+        rt_native = next(it).runtime(app)
+        rt_ibis = next(it).runtime(app)
         result.row(app=app, native=rt_native, ibis=rt_ibis,
                    overhead=rt_ibis / rt_native - 1.0)
     return result
 
 
 # -------------------------------------------------------------------- Tab 2
-def _tab2_run(config: ClusterConfig, app: str, policy: PolicySpec) -> dict:
-    """One instrumented run -> the scalars Table 2 is computed from."""
-    job, cluster = _single_app_job(config, app, policy)
-    return {
-        "runtime": job.runtime,
-        "requests": sum(s.stats.total_requests for s in cluster.schedulers()),
-        "broker_messages": cluster.broker.messages if cluster.broker else 0,
-        "broker_message_bytes":
-            cluster.broker.message_bytes if cluster.broker else 0.0,
-    }
-
-
 def tab2_resource_usage(config: ClusterConfig | None = None) -> ExperimentResult:
     """Daemon CPU/memory usage attributable to I/O management.
 
@@ -717,26 +708,28 @@ def tab2_resource_usage(config: ClusterConfig | None = None) -> ExperimentResult
     apps = ("wordcount", "teragen", "terasort")
     policies = [(PolicySpec.native(), "native"),
                 (PolicySpec.sfqd2(ctrl, coordinated=True), "ibis")]
-    stats = run_specs([
-        RunSpec.of(_tab2_run, config, app, policy,
-                   label=f"tab2:{app}:{label}")
+    runs = _run_all([
+        _single_app_scenario(config, app, policy, f"tab2:{app}:{label}",
+                             metrics=("runtime", "scheduler_stats"))
         for app in apps
         for policy, label in policies
     ])
-    it = iter(stats)
+    it = iter(runs)
     for app in apps:
         for _policy, label in policies:
-            s = next(it)
-            requests = s["requests"]
+            man = next(it)
+            runtime = man.runtime(app)
+            requests = man.counters["requests"]
             sched_cpu_s = requests * cpu_s_per_request[label]
             if label == "ibis":
-                sched_cpu_s += s["broker_messages"] * 50e-6
+                sched_cpu_s += man.counters["broker_messages"] * 50e-6
             # per-core %, over the run, across the cluster's daemon cores
-            cpu_pct = 100.0 * sched_cpu_s / (s["runtime"] * config.n_workers)
-            mem_bytes = (requests / max(1.0, s["runtime"])
+            cpu_pct = 100.0 * sched_cpu_s / (runtime * config.n_workers)
+            mem_bytes = (requests / max(1.0, runtime)
                          * bytes_per_queued_request)
             if label == "ibis":
-                mem_bytes += s["broker_message_bytes"] / max(1.0, s["runtime"])
+                mem_bytes += (man.counters["broker_message_bytes"]
+                              / max(1.0, runtime))
             result.row(app=app, case=label,
                        cpu_pct=cpu_pct,
                        mem_mb_per_node=mem_bytes / MB,
@@ -771,41 +764,28 @@ def _faults_plan(config: ClusterConfig) -> FaultPlan:
     )
 
 
-def _faults_case(
-    config: ClusterConfig,
-    policy: PolicySpec,
-    with_faults: bool,
-) -> dict:
-    """Two weighted TeraValidate scans (4:1) under one policy, with or
-    without the fault schedule; returns the realised service ratio over
-    the shared window plus fault-handling counters."""
-    plan = _faults_plan(config) if with_faults else None
-    cluster = BigDataCluster(config, policy, faults=plan)
-    failovers = CounterSink(cluster.telemetry, REPLICA_FAILOVER)
-    retries = CounterSink(cluster.telemetry, TASK_RETRY)
-    cluster.preload_input("/in/scan-hi", _FAULT_SCAN)
-    cluster.preload_input("/in/scan-lo", _FAULT_SCAN)
-    hi = cluster.submit(teravalidate(config, "/in/scan-hi", name="scan-hi"),
-                        io_weight=32.0, max_cores=48)
-    lo = cluster.submit(teravalidate(config, "/in/scan-lo", name="scan-lo"),
-                        io_weight=1.0, max_cores=48)
-    cluster.run()
-    t_end = min(hi.finish_time, lo.finish_time)
+def _faults_scenario(config: ClusterConfig, policy: "PolicySpec | NodePolicy",
+                     with_faults: bool, label: str) -> Scenario:
+    """Two weighted TeraValidate scans (32:1) under one policy, with or
+    without the fault schedule."""
+    return weighted_scan_pair(
+        config, policy, name=f"faults:{label}", scan_bytes=_FAULT_SCAN,
+        hi_weight=32.0, lo_weight=1.0,
+        faults=_faults_plan(config) if with_faults else None,
+    )
 
-    def service(job):
-        return sum(
-            m.window_total(0.0, t_end)
-            for m in cluster.app_throughput_meters(job.app_id)
-        )
 
-    svc_lo = service(lo)
+def _faults_outcome(man) -> dict:
+    """Realised service ratio over the shared window + fault counters."""
+    svc_hi = man.job_row("scan-hi")["service"]
+    svc_lo = man.job_row("scan-lo")["service"]
     return {
-        "ratio": service(hi) / svc_lo if svc_lo > 0 else float("inf"),
-        "hi_runtime": hi.runtime,
-        "lo_runtime": lo.runtime,
-        "failovers": failovers.count,
-        "retries": retries.count,
-        "orphaned": cluster.sim.orphaned_faults,
+        "ratio": svc_hi / svc_lo if svc_lo > 0 else float("inf"),
+        "hi_runtime": man.runtime("scan-hi"),
+        "lo_runtime": man.runtime("scan-lo"),
+        "failovers": man.counters["failovers"],
+        "retries": man.counters["retries"],
+        "orphaned": man.counters["orphaned"],
     }
 
 
@@ -826,20 +806,20 @@ def faults_experiment(config: ClusterConfig | None = None) -> ExperimentResult:
         ("cgroups", PolicySpec.cgroups_weight()),
         ("ibis", PolicySpec.sfqd2(controller_for(config), coordinated=True)),
     ]
-    specs = [RunSpec.of(_faults_case, config, cases[-1][1], False,
-                        label="faults:ibis-healthy")]
-    specs += [
-        RunSpec.of(_faults_case, config, policy, True, label=f"faults:{label}")
+    scenarios = [_faults_scenario(config, cases[-1][1], False, "ibis-healthy")]
+    scenarios += [
+        _faults_scenario(config, policy, True, label)
         for label, policy in cases
     ]
-    outcomes = run_specs(specs)
-    healthy = outcomes[0]
+    runs = _run_all(scenarios)
+    healthy = _faults_outcome(runs[0])
     result.row(case="ibis-healthy", faulted=False, ratio=healthy["ratio"],
                ratio_preserved=1.0,
                hi_runtime=healthy["hi_runtime"],
                lo_runtime=healthy["lo_runtime"],
                failovers=healthy["failovers"], retries=healthy["retries"])
-    for (label, _policy), out in zip(cases, outcomes[1:]):
+    for (label, _policy), man in zip(cases, runs[1:]):
+        out = _faults_outcome(man)
         result.row(case=label, faulted=True, ratio=out["ratio"],
                    ratio_preserved=out["ratio"] / healthy["ratio"],
                    hi_runtime=out["hi_runtime"], lo_runtime=out["lo_runtime"],

@@ -46,11 +46,30 @@ class ExperimentResult:
         self.rows.append(kv)
 
     def find(self, **match: Any) -> dict[str, Any]:
-        """The first row whose fields match (for assertions in tests)."""
+        """The first row whose fields match (for assertions in tests).
+
+        Raises a :class:`KeyError` that lists the keys and values the
+        rows actually carry, so a typo'd case name fails with the menu
+        of valid ones instead of a bare "no row matching".
+        """
         for r in self.rows:
             if all(r.get(k) == v for k, v in match.items()):
                 return r
-        raise KeyError(f"no row matching {match} in {self.name}")
+        available: dict[str, list] = {}
+        for r in self.rows:
+            for key in match:
+                if key in r and r[key] not in available.setdefault(key, []):
+                    available[key].append(r[key])
+        detail = (
+            "; ".join(f"{k} in {vals}" for k, vals in available.items())
+            if available
+            else f"no row has any of {sorted(match)}; "
+                 f"row keys: {sorted({k for r in self.rows for k in r})}"
+        )
+        raise KeyError(
+            f"no row matching {match} in {self.name} "
+            f"({len(self.rows)} rows; {detail})"
+        )
 
 
 # The §4 profiling procedure is deterministic per storage profile, so
@@ -66,10 +85,12 @@ _CALIBRATION_VERSION = 1
 
 
 def calibration_cache_dir() -> pathlib.Path:
-    """Disk-cache location: ``$IBIS_CACHE_DIR`` or ``~/.cache/ibis-repro``."""
-    override = os.environ.get("IBIS_CACHE_DIR")
-    if override:
-        return pathlib.Path(override)
+    """Disk-cache location: ``$REPRO_CACHE_DIR``, else ``$IBIS_CACHE_DIR``
+    (the historical name), else ``~/.cache/ibis-repro``."""
+    for var in ("REPRO_CACHE_DIR", "IBIS_CACHE_DIR"):
+        override = os.environ.get(var)
+        if override:
+            return pathlib.Path(override)
     return pathlib.Path.home() / ".cache" / "ibis-repro"
 
 

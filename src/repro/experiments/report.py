@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.experiments.harness import ExperimentResult
 
-__all__ = ["format_result", "format_rows", "result_payload"]
+if TYPE_CHECKING:
+    from repro.scenario import RunManifest
+
+__all__ = ["format_manifest", "format_result", "format_rows", "result_payload"]
 
 
 def _fmt(value: Any) -> str:
@@ -61,6 +64,36 @@ def result_payload(result: ExperimentResult) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def format_manifest(manifest: "RunManifest") -> str:
+    """Full report of one scenario run: identity, rows, summaries."""
+    parts = [
+        f"== scenario {manifest.scenario} ==",
+        f"scenario_hash {manifest.scenario_hash}  "
+        f"metrics_hash {manifest.metrics_hash()}",
+        f"seed {manifest.seed}  scale 1/{1.0 / manifest.scale:g}  "
+        f"storage {manifest.storage}  sim_time {manifest.sim_time:.1f}s  "
+        f"wall {manifest.wall_time:.2f}s",
+    ]
+    if manifest.rows:
+        parts.append(format_rows(manifest.rows))
+    for key, value in manifest.summary.items():
+        parts.append(f"summary {key}: {_fmt(value)}")
+    for key, value in manifest.counters.items():
+        parts.append(f"counter {key}: {_fmt(value)}")
+    for name, (times, values) in manifest.series.items():
+        if not values:
+            parts.append(f"series {name}: (empty)")
+            continue
+        parts.append(
+            f"series {name}: {len(values)} points, "
+            f"min {min(values):.2f}, max {max(values):.2f}, "
+            f"last t {times[-1]:.1f}"
+        )
+    if manifest.trace_path:
+        parts.append(f"trace {manifest.trace_path}")
+    return "\n".join(parts)
 
 
 def format_result(result: ExperimentResult) -> str:

@@ -12,6 +12,18 @@ Regenerate any figure or table of the paper from the shell::
     python -m repro.experiments.run fig8 --storage ssd
     python -m repro.experiments.run all --out results/
 
+Or run any declarative scenario file (see ``examples/scenarios/``)::
+
+    python -m repro.experiments.run scenario examples/scenarios/fig6_isolation.json
+    python -m repro.experiments.run scenario s.json --sweep cluster.seed=1,2,3
+    python -m repro.experiments.run scenario s.json \\
+        --sweep workload.jobs.0.io_weight=1,8,32 --jobs 4 --out results/
+
+``--sweep key.path=v1,v2,...`` (repeatable) expands the file into a
+cartesian grid of validated scenario variants; the grid rides the same
+worker pool as the figures.  ``--scale/--storage/--seed`` do not apply
+in scenario mode — a scenario file pins its whole cluster config.
+
 Parallelism (``--jobs N``; 0 = all cores):
 
 * several experiments requested — whole experiments fan out across the
@@ -27,7 +39,9 @@ worker time; the figure content is byte-identical).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
+import re
 import sys
 import time
 
@@ -40,7 +54,12 @@ from repro.experiments.parallel import (
     parallel_jobs,
     run_specs,
 )
-from repro.experiments.report import format_result, result_payload
+from repro.experiments.report import (
+    format_manifest,
+    format_result,
+    result_payload,
+)
+from repro.scenario import parse_sweep, run_scenario, sweep_scenarios
 
 #: short name -> (function, description)
 EXPERIMENTS = {
@@ -82,14 +101,56 @@ def _emit(name: str, result, elapsed: float,
         (out_dir / f"{name}.json").write_text(result_payload(result) + "\n")
 
 
+def _slug(name: str) -> str:
+    """Scenario name -> safe output-file stem."""
+    return re.sub(r"[^\w.+-]+", "_", name).strip("_")
+
+
+def run_scenarios(args, parser) -> int:
+    """``run scenario <file.json>...`` — run declarative scenario files,
+    each optionally expanded into a ``--sweep`` grid."""
+    if not args.names:
+        parser.error("scenario mode needs at least one JSON file")
+    try:
+        sweeps = [parse_sweep(s) for s in args.sweep]
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    scenarios = []
+    for path in args.names:
+        try:
+            data = json.loads(pathlib.Path(path).read_text())
+            scenarios.extend(sweep_scenarios(data, sweeps))
+        except (OSError, ValueError, KeyError, IndexError) as exc:
+            parser.error(f"{path}: {exc}")
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    specs = [RunSpec.of(run_scenario, s, label=s.name) for s in scenarios]
+    with parallel_jobs(jobs):
+        manifests = run_specs(specs)
+    for manifest in manifests:
+        print(format_manifest(manifest))
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            out = args.out / f"{_slug(manifest.scenario)}.json"
+            out.write_text(manifest.to_json() + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.run",
         description="Regenerate figures/tables of the IBIS paper (§7).",
     )
     parser.add_argument("names", nargs="*",
-                        help="experiment names (e.g. fig6 tab3) or 'all'")
+                        help="experiment names (e.g. fig6 tab3), 'all', or "
+                             "'scenario FILE.json...' to run scenario files")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="PATH=V1,V2,...",
+                        help="scenario mode only: sweep a dotted key path "
+                             "over values (repeatable; combines as a grid)")
     parser.add_argument("--scale", type=float, default=64.0, metavar="N",
                         help="run at 1/N of the paper's data volumes (default 64)")
     parser.add_argument("--storage", choices=("hdd", "ssd"), default="hdd")
@@ -106,6 +167,13 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_fn, desc) in EXPERIMENTS.items():
             print(f"{name:<6} {desc}")
         return 0
+
+    if args.names and args.names[0] == "scenario":
+        args.names = args.names[1:]
+        return run_scenarios(args, parser)
+    if args.sweep:
+        parser.error("--sweep only applies to scenario mode "
+                     "(run scenario FILE.json --sweep ...)")
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -1,6 +1,7 @@
 """Hive substrate: SQL queries as DAGs of sequential MapReduce jobs."""
 
 from repro.hive.engine import HiveQuery, run_query
-from repro.hive.tpch import tpch_q9, tpch_q21
+from repro.hive.tpch import TPCH_QUERIES, build_query, tpch_q9, tpch_q21
 
-__all__ = ["HiveQuery", "run_query", "tpch_q9", "tpch_q21"]
+__all__ = ["HiveQuery", "TPCH_QUERIES", "build_query", "run_query",
+           "tpch_q9", "tpch_q21"]

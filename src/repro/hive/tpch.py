@@ -25,7 +25,7 @@ from repro.config import ClusterConfig, GB, KB, MB
 from repro.hive.engine import HiveQuery
 from repro.mapreduce import JobSpec
 
-__all__ = ["tpch_q9", "tpch_q21"]
+__all__ = ["TPCH_QUERIES", "build_query", "tpch_q9", "tpch_q21"]
 
 
 def _stage(
@@ -114,3 +114,22 @@ def tpch_q21(config: ClusterConfig, tables_path: str = "/tpch/q21-tables") -> Hi
         table_paths=(tables_path,),
         table_bytes=(45 * GB,),
     )
+
+
+#: Declarative name -> query builder (``"app": "hive"`` scenario entries
+#: select one of these via their ``query`` parameter).
+TPCH_QUERIES = {
+    "q9": tpch_q9,
+    "q21": tpch_q21,
+}
+
+
+def build_query(config: ClusterConfig, query: str, **params) -> HiveQuery:
+    """Build a TPC-H :class:`HiveQuery` by declarative name."""
+    try:
+        builder = TPCH_QUERIES[query]
+    except KeyError:
+        raise ValueError(
+            f"unknown query {query!r}; expected one of {sorted(TPCH_QUERIES)}"
+        ) from None
+    return builder(config, **params)

@@ -1,0 +1,63 @@
+"""Declarative scenario layer: experiments as data.
+
+A :class:`Scenario` bundles the five ingredients every experiment needs
+— cluster, policy, workload, optional faults, measurement — into one
+canonical-JSON value with a stable content hash;
+:class:`ScenarioRunner` materialises and runs it, returning a
+:class:`RunManifest` that makes any run reproducible from one file::
+
+    from repro.scenario import Scenario, run_scenario
+
+    scenario = Scenario.from_json(pathlib.Path("fig6.json").read_text())
+    manifest = run_scenario(scenario)
+    print(manifest.scenario_hash, manifest.runtime("wordcount"))
+
+See DESIGN.md ("Scenario layer") for the spec schema and hash
+semantics, and ``examples/scenarios/`` for ready-to-run files.
+"""
+
+from repro.scenario.library import (
+    single_app,
+    wc_alone,
+    wc_teragen_isolation,
+    weighted_scan_pair,
+)
+from repro.scenario.runner import RunManifest, ScenarioRunner, run_scenario
+from repro.scenario.spec import (
+    ENTRY_APPS,
+    METRICS,
+    JobEntry,
+    MeasurementSpec,
+    PreloadSpec,
+    Scenario,
+    WorkloadSpec,
+    load_scenario,
+)
+from repro.scenario.sweep import (
+    apply_override,
+    expand_grid,
+    parse_sweep,
+    sweep_scenarios,
+)
+
+__all__ = [
+    "ENTRY_APPS",
+    "JobEntry",
+    "METRICS",
+    "MeasurementSpec",
+    "PreloadSpec",
+    "RunManifest",
+    "Scenario",
+    "ScenarioRunner",
+    "WorkloadSpec",
+    "apply_override",
+    "expand_grid",
+    "load_scenario",
+    "parse_sweep",
+    "run_scenario",
+    "single_app",
+    "sweep_scenarios",
+    "wc_alone",
+    "wc_teragen_isolation",
+    "weighted_scan_pair",
+]

@@ -1,0 +1,154 @@
+"""Reusable scenario builders for the recurring §7 workload shapes.
+
+These return plain :class:`~repro.scenario.spec.Scenario` values — the
+figure functions compose them with per-figure policies, the example
+JSONs under ``examples/scenarios/`` are their serialised forms, and new
+studies can start from them instead of hand-assembling a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.config import GB, ClusterConfig
+from repro.core import NodePolicy, PolicySpec
+from repro.faults import FaultPlan
+from repro.scenario.spec import (
+    JobEntry,
+    MeasurementSpec,
+    PreloadSpec,
+    Scenario,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "single_app",
+    "wc_alone",
+    "wc_teragen_isolation",
+    "weighted_scan_pair",
+]
+
+Policy = Union[PolicySpec, NodePolicy]
+
+
+def _preloads(
+    preloads: Iterable["PreloadSpec | tuple"],
+) -> tuple[PreloadSpec, ...]:
+    return tuple(
+        p if isinstance(p, PreloadSpec) else PreloadSpec(*p) for p in preloads
+    )
+
+
+def single_app(
+    config: ClusterConfig,
+    policy: Policy,
+    app: str,
+    *,
+    name: str,
+    params: Optional[dict[str, Any]] = None,
+    preloads: Iterable["PreloadSpec | tuple"] = (),
+    io_weight: float = 1.0,
+    max_cores: Optional[int] = None,
+    metrics: Sequence[str] = ("runtime",),
+    window: str = "run",
+    faults: Optional[FaultPlan] = None,
+) -> Scenario:
+    """One application on an otherwise idle cluster (Figs. 2, 13)."""
+    return Scenario(
+        name=name,
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(
+                JobEntry(app=app, io_weight=io_weight, max_cores=max_cores,
+                         params=dict(params or {})),
+            ),
+            preloads=_preloads(preloads),
+        ),
+        measure=MeasurementSpec(metrics=tuple(metrics), window=window),
+        faults=faults,
+    )
+
+
+def wc_alone(config: ClusterConfig, *, name: str) -> Scenario:
+    """WordCount standalone at full weight, half the cluster's cores —
+    the baseline every isolation slowdown is measured against."""
+    return single_app(
+        config,
+        PolicySpec.native(),
+        "wordcount",
+        name=name,
+        params={"input_path": "/in/wiki"},
+        preloads=((("/in/wiki"), 50 * GB),),
+        max_cores=48,
+    )
+
+
+def wc_teragen_isolation(
+    config: ClusterConfig,
+    policy: Policy,
+    *,
+    name: str,
+    io_weight: float = 32.0,
+    metrics: Sequence[str] = ("runtime", "throughput_mbs"),
+    window: str = "until_finish",
+    options: Optional[dict[str, Any]] = None,
+) -> Scenario:
+    """The paper's core isolation study: weighted WordCount sharing the
+    cluster with the TeraGen aggressor (Figs. 6, 7, 8, mixed)."""
+    return Scenario(
+        name=name,
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(
+                JobEntry(app="wordcount", io_weight=io_weight, max_cores=48,
+                         params={"input_path": "/in/wiki"}),
+                JobEntry(app="teragen", io_weight=1.0, max_cores=48),
+            ),
+            preloads=(PreloadSpec("/in/wiki", 50 * GB),),
+        ),
+        measure=MeasurementSpec(
+            until=("wordcount",),
+            metrics=tuple(metrics),
+            window=window,
+            options=dict(options or {}),
+        ),
+    )
+
+
+def weighted_scan_pair(
+    config: ClusterConfig,
+    policy: Policy,
+    *,
+    name: str,
+    scan_bytes: float,
+    hi_weight: float = 32.0,
+    lo_weight: float = 1.0,
+    max_cores: int = 48,
+    faults: Optional[FaultPlan] = None,
+    metrics: Sequence[str] = ("runtime", "service", "fault_counters"),
+) -> Scenario:
+    """Two TeraValidate scans at ``hi_weight : lo_weight``, optionally
+    under a fault schedule — the proportional-sharing probe."""
+    return Scenario(
+        name=name,
+        cluster=config,
+        policy=policy,
+        workload=WorkloadSpec(
+            jobs=(
+                JobEntry(app="teravalidate", name="scan-hi",
+                         io_weight=hi_weight, max_cores=max_cores,
+                         params={"input_path": "/in/scan-hi"}),
+                JobEntry(app="teravalidate", name="scan-lo",
+                         io_weight=lo_weight, max_cores=max_cores,
+                         params={"input_path": "/in/scan-lo"}),
+            ),
+            preloads=(
+                PreloadSpec("/in/scan-hi", scan_bytes),
+                PreloadSpec("/in/scan-lo", scan_bytes),
+            ),
+        ),
+        measure=MeasurementSpec(metrics=tuple(metrics), window="min_finish"),
+        faults=faults,
+    )

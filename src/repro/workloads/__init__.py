@@ -6,6 +6,8 @@ down by ``config.scale``.
 """
 
 from repro.workloads.apps import (
+    APP_BUILDERS,
+    build_app,
     teragen,
     terasort,
     teravalidate,
@@ -15,7 +17,9 @@ from repro.workloads.swim import SwimJob, facebook2009_trace
 from repro.workloads.synthetic import io_ramp_job
 
 __all__ = [
+    "APP_BUILDERS",
     "SwimJob",
+    "build_app",
     "facebook2009_trace",
     "io_ramp_job",
     "teragen",

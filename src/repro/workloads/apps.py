@@ -18,7 +18,8 @@ from __future__ import annotations
 from repro.config import ClusterConfig, GB, TB
 from repro.mapreduce import JobSpec
 
-__all__ = ["teragen", "terasort", "teravalidate", "wordcount"]
+__all__ = ["APP_BUILDERS", "build_app", "teragen", "terasort",
+           "teravalidate", "wordcount"]
 
 
 def _n_blocks(config: ClusterConfig, nbytes_paper: float) -> int:
@@ -99,3 +100,26 @@ def teravalidate(
         output_bytes=0,
         map_cpu_s_per_mb=0.002,
     )
+
+
+#: Declarative name -> builder, the dispatch table behind
+#: :class:`repro.scenario.JobEntry` (``"app": "terasort"`` in a scenario
+#: JSON selects :func:`terasort`; ``params`` become builder kwargs).
+APP_BUILDERS = {
+    "teragen": teragen,
+    "terasort": terasort,
+    "teravalidate": teravalidate,
+    "wordcount": wordcount,
+}
+
+
+def build_app(config: ClusterConfig, app: str, **params) -> JobSpec:
+    """Build a benchmark :class:`JobSpec` by declarative name."""
+    try:
+        builder = APP_BUILDERS[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {app!r}; expected one of "
+            f"{sorted(APP_BUILDERS)}"
+        ) from None
+    return builder(config, **params)

@@ -1,0 +1,40 @@
+"""Golden regression: figures must be bit-identical to the pre-scenario
+outputs captured in ``tests/experiments/golden/`` (``--scale 256``).
+
+These files were generated *before* figures.py was refactored onto the
+declarative scenario layer, so they pin the refactor to byte equality:
+
+    PYTHONPATH=src python -m repro.experiments.run fig6 fig10 faults \
+        --scale 256 --out tests/experiments/golden
+
+Regenerate them (same command) only when an intentional modelling
+change alters the numbers.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.config import default_cluster
+from repro.experiments import figures
+from repro.experiments.report import format_result, result_payload
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+CASES = {
+    "fig6": figures.fig6_isolation_hdd,
+    "fig10": figures.fig10_multiframework,
+    "faults": figures.faults_experiment,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_figure_matches_golden(name):
+    config = default_cluster(scale=1.0 / 256)
+    result = CASES[name](config)
+    assert (result_payload(result) + "\n"
+            == (GOLDEN / f"{name}.json").read_text()), (
+        f"{name} JSON payload drifted from tests/experiments/golden/"
+    )
+    assert (format_result(result) + "\n"
+            == (GOLDEN / f"{name}.txt").read_text())

@@ -17,6 +17,36 @@ def test_result_rows_and_find():
         r.find(case="zzz")
 
 
+def test_find_keyerror_lists_available_values():
+    r = ExperimentResult("t")
+    r.row(case="native", runtime=1.0)
+    r.row(case="ibis", runtime=2.0)
+    with pytest.raises(KeyError) as exc:
+        r.find(case="ibs")
+    message = str(exc.value)
+    assert "native" in message and "ibis" in message
+    assert "2 rows" in message
+
+
+def test_find_keyerror_on_unknown_key_lists_row_keys():
+    r = ExperimentResult("t")
+    r.row(case="a", runtime=1.0)
+    with pytest.raises(KeyError) as exc:
+        r.find(speed=3)
+    message = str(exc.value)
+    assert "row keys" in message and "runtime" in message
+
+
+def test_cache_dir_honours_repro_cache_dir(monkeypatch, tmp_path):
+    from repro.experiments.harness import calibration_cache_dir
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "new"))
+    monkeypatch.setenv("IBIS_CACHE_DIR", str(tmp_path / "old"))
+    assert calibration_cache_dir() == tmp_path / "new"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert calibration_cache_dir() == tmp_path / "old"
+
+
 def test_controller_cache_reuses_calibration():
     cfg = default_cluster()
     assert controller_for(cfg) is controller_for(cfg)

@@ -1,0 +1,53 @@
+"""The ``run scenario`` CLI mode and its ``--sweep`` grids."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.run import main
+
+EXAMPLES = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+)
+
+
+def test_scenario_mode_runs_example(capsys, tmp_path):
+    path = EXAMPLES / "fig6_isolation.json"
+    assert main(["scenario", str(path), "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "== scenario fig6_isolation ==" in out
+    assert "scenario_hash" in out and "metrics_hash" in out
+    manifest = json.loads((tmp_path / "fig6_isolation.json").read_text())
+    assert manifest["scenario_hash"] and manifest["metrics_hash"]
+    assert manifest["rows"]
+
+
+def test_scenario_sweep_expands_grid(capsys):
+    path = EXAMPLES / "fig6_isolation.json"
+    assert main(["scenario", str(path),
+                 "--sweep", "workload.jobs.0.io_weight=8,32"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6_isolation[workload.jobs.0.io_weight=8]" in out
+    assert "fig6_isolation[workload.jobs.0.io_weight=32]" in out
+
+
+def test_scenario_mode_needs_a_file():
+    with pytest.raises(SystemExit):
+        main(["scenario"])
+
+
+def test_scenario_mode_rejects_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["scenario", str(tmp_path / "nope.json")])
+
+
+def test_scenario_mode_rejects_bad_sweep():
+    path = EXAMPLES / "fig6_isolation.json"
+    with pytest.raises(SystemExit):
+        main(["scenario", str(path), "--sweep", "notasweep"])
+
+
+def test_sweep_outside_scenario_mode_errors():
+    with pytest.raises(SystemExit):
+        main(["fig6", "--sweep", "cluster.seed=1,2"])

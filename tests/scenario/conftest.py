@@ -1,0 +1,14 @@
+import pathlib
+
+import pytest
+
+EXAMPLES = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+)
+
+
+@pytest.fixture
+def example_scenarios() -> list[pathlib.Path]:
+    paths = sorted(EXAMPLES.glob("*.json"))
+    assert len(paths) >= 3, f"expected example scenarios in {EXAMPLES}"
+    return paths

@@ -1,0 +1,72 @@
+"""Grid sweeps over scenario dicts."""
+
+import pytest
+
+from repro.config import default_cluster
+from repro.core import PolicySpec
+from repro.scenario import (
+    apply_override,
+    expand_grid,
+    parse_sweep,
+    sweep_scenarios,
+    wc_teragen_isolation,
+)
+
+
+def _base():
+    return wc_teragen_isolation(
+        default_cluster(scale=1.0 / 256), PolicySpec.sfqd(depth=4),
+        name="sweep-test",
+    ).to_dict()
+
+
+def test_parse_sweep_json_literals():
+    assert parse_sweep("cluster.seed=1,2,3") == ("cluster.seed", [1, 2, 3])
+    assert parse_sweep("a.b=1.5,true,null,x") == ("a.b", [1.5, True, None, "x"])
+
+
+def test_parse_sweep_rejects_malformed():
+    for bad in ("noequals", "=1,2", "path="):
+        with pytest.raises(ValueError):
+            parse_sweep(bad)
+
+
+def test_apply_override_nested_and_list():
+    d = _base()
+    out = apply_override(d, "workload.jobs.0.io_weight", 8.0)
+    assert out["workload"]["jobs"][0]["io_weight"] == 8.0
+    assert d["workload"]["jobs"][0]["io_weight"] == 32.0  # untouched
+
+
+def test_apply_override_unknown_key():
+    with pytest.raises(KeyError):
+        apply_override(_base(), "cluster.tyop", 1)
+
+
+def test_apply_override_bad_index():
+    with pytest.raises(IndexError):
+        apply_override(_base(), "workload.jobs.9.io_weight", 1.0)
+
+
+def test_expand_grid_row_major():
+    grid = expand_grid(_base(), [("cluster.seed", [1, 2]),
+                                 ("workload.jobs.0.io_weight", [4.0, 8.0])])
+    assert len(grid) == 4
+    assignments = [a for a, _d in grid]
+    assert assignments[0] == {"cluster.seed": 1,
+                              "workload.jobs.0.io_weight": 4.0}
+    assert assignments[1]["workload.jobs.0.io_weight"] == 8.0
+    assert assignments[2]["cluster.seed"] == 2
+
+
+def test_sweep_scenarios_names_and_validates():
+    scenarios = sweep_scenarios(_base(), [("cluster.seed", [1, 2])])
+    assert [s.name for s in scenarios] == [
+        "sweep-test[cluster.seed=1]", "sweep-test[cluster.seed=2]",
+    ]
+    assert scenarios[0].content_hash() != scenarios[1].content_hash()
+
+
+def test_sweep_scenarios_no_sweeps_is_identity():
+    (s,) = sweep_scenarios(_base(), [])
+    assert s.name == "sweep-test"
