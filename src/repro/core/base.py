@@ -19,17 +19,18 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.registry import register_scheduler
-from repro.core.request import IORequest
-from repro.core.tags import IOClass
-from repro.simcore import Event, RateMeter, Simulator
+from repro.dataplane import IOClass, IORequest, LifecycleError, RequestState
+from repro.simcore import Event, RateMeter, RequestCancelled, Simulator
 from repro.storage import IOCompletion, StorageDevice
 from repro.telemetry import (
     REQUEST_COMPLETED,
     REQUEST_DISPATCHED,
     REQUEST_SUBMITTED,
+    SPAN,
     RequestCompleted,
     RequestDispatched,
     RequestSubmitted,
+    Span,
     TelemetryBus,
 )
 
@@ -157,11 +158,28 @@ class IOScheduler:
     def submit(self, req: IORequest) -> Event:
         """Accept a tagged request; returns its completion event.
 
+        A request whose tag's cancel scope is already cancelled (its
+        task died while the issuing stream was mid-flight) is refused
+        here: failed with :class:`RequestCancelled` without touching
+        the queue.  Otherwise the request is registered with the scope
+        and enters the ``QUEUED`` lifecycle state.
+
         Submit hooks run *before* the request is enqueued: enqueueing
         may dispatch and even complete the request synchronously (the
         native passthrough does), and hooks must observe the submission
         first.
         """
+        scope = req.tag.scope
+        if scope is not None:
+            if scope.cancelled:
+                req.mark_cancelled(self.sim.now)
+                self._publish_span(req, "cancelled")
+                req.completion.fail(RequestCancelled(
+                    f"{req.app_id} {req.op} refused at {self.name}: "
+                    f"scope {scope.name or '?'} cancelled"
+                ))
+                return req.completion
+            scope.register(req)
         for hook in self._submit_hooks:
             hook(req)
         telemetry = self.telemetry
@@ -171,8 +189,35 @@ class IOScheduler:
                 op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
                 queued=self.queued,
             ))
+        req.mark_queued(self.sim.now, self)
         self._enqueue(req)
         return req.completion
+
+    def cancel(self, req: IORequest) -> None:
+        """Withdraw a still-queued request (first-class cancellation).
+
+        Removes it from the queue with the scheduler's accounting kept
+        consistent (:meth:`_remove`), marks it ``CANCELLED``, and fails
+        its completion with :class:`RequestCancelled`.  Only legal in
+        the ``QUEUED`` state — a dispatched request is at the device
+        and runs to completion.
+        """
+        if req.state is not RequestState.QUEUED:
+            raise LifecycleError(
+                f"cannot cancel {req!r}: not queued (state "
+                f"{req.state.value})"
+            )
+        if req._sched is not self:
+            raise LifecycleError(
+                f"cannot cancel {req!r}: queued at "
+                f"{getattr(req._sched, 'name', None)!r}, not {self.name!r}"
+            )
+        self._remove(req)
+        req.mark_cancelled(self.sim.now)
+        self._publish_span(req, "cancelled")
+        req.completion.fail(RequestCancelled(
+            f"{req.app_id} {req.op} cancelled while queued at {self.name}"
+        ))
 
     def add_submit_hook(self, hook: Callable[[IORequest], None]) -> None:
         self._submit_hooks.append(hook)
@@ -191,13 +236,32 @@ class IOScheduler:
     def _enqueue(self, req: IORequest) -> None:
         raise NotImplementedError
 
+    def _remove(self, req: IORequest) -> None:
+        """Withdraw a queued request from this scheduler's queue,
+        keeping its accounting (tags, buckets) consistent.  Schedulers
+        that can hold requests queued must override this; the native
+        passthrough never queues, so cancellation never reaches it."""
+        raise LifecycleError(
+            f"{self.name} ({self.algorithm}) cannot remove queued requests"
+        )
+
     def _on_complete(self, req: IORequest, done: IOCompletion) -> None:
         """Called after accounting; subclasses trigger further dispatch."""
 
     # ------------------------------------------------------------ plumbing
+    def _publish_span(self, req: IORequest, state: str) -> None:
+        telemetry = self.telemetry
+        if telemetry.publishes(SPAN):
+            telemetry.publish(Span(
+                t=self.sim.now, source=self.name, app_id=req.app_id,
+                op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
+                state=state, queue_wait=req.queue_wait,
+                service=req.service_time,
+            ))
+
     def _dispatch_to_device(self, req: IORequest) -> None:
         now = self.sim.now
-        req.dispatch_time = now
+        req.mark_dispatched(now)
         self.outstanding += 1
         telemetry = self.telemetry
         if telemetry.publishes(REQUEST_DISPATCHED):
@@ -220,6 +284,8 @@ class IOScheduler:
         """A device I/O failed (injected fault): free the slot so the
         scheduler keeps dispatching, and pass the failure to the issuer."""
         self.outstanding -= 1
+        req.mark_failed(self.sim.now)
+        self._publish_span(req, "failed")
         # Subclasses' _on_complete hooks only pump their dispatch loops
         # and ignore the completion payload, so None is safe here.
         self._on_complete(req, None)
@@ -227,6 +293,7 @@ class IOScheduler:
 
     def _complete(self, req: IORequest, done: IOCompletion) -> None:
         self.outstanding -= 1
+        req.mark_completed(self.sim.now)
         # Always published: this event *is* the accounting (SchedulerStats
         # subscribes scoped, so it runs before any wildcard sink).
         self.telemetry.publish(RequestCompleted(
@@ -234,6 +301,7 @@ class IOScheduler:
             op=req.op, nbytes=req.nbytes, io_class=req.io_class.value,
             latency=done.latency, weight=req.weight,
         ))
+        self._publish_span(req, "completed")
         for hook in self._completion_hooks:
             hook(req, done)
         self._on_complete(req, done)

@@ -130,6 +130,14 @@ class CgroupsThrottleScheduler(IOScheduler):
         self._queues[app].append(req)
         self._pump(app)
 
+    def _remove(self, req: IORequest) -> None:
+        # The token bucket is only charged at release, so withdrawing a
+        # queued request needs no bucket rollback.
+        queue = self._queues.get(req.app_id)
+        if queue is None or req not in queue:
+            raise ValueError(f"{req!r} is not queued at {self.name}")
+        queue.remove(req)
+
     def _pump(self, app: str) -> None:
         if app in self._release_scheduled:
             return

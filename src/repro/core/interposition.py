@@ -1,7 +1,8 @@
 """Per-datanode I/O interposition (§3).
 
 Each worker node hosts two devices (§7.1: HDFS data and intermediate
-data on separate disks) and three interposed scheduling points:
+data on separate disks) and three interposed scheduling points, one
+:class:`~repro.dataplane.IOPath` per I/O class:
 
 * ``PERSISTENT``  → scheduler in the Data Node, in front of the HDFS disk;
 * ``INTERMEDIATE`` → scheduler in the local I/O path, in front of the
@@ -13,10 +14,11 @@ A :class:`~repro.core.policy.NodePolicy` selects which registered
 scheduler implementation backs each point; a bare
 :class:`~repro.core.policy.PolicySpec` is accepted as shorthand for the
 uniform one-policy-everywhere configuration.  Construction goes through
-the policy registry (:mod:`repro.core.registry`): a scheduler whose
-declared ``manages_classes`` does not cover a class falls back to
-native at that point — which is exactly how cgroups ends up managing
-only the INTERMEDIATE class (§6).
+:meth:`IOPath.build` and the policy registry
+(:mod:`repro.core.registry`): a scheduler whose declared
+``manages_classes`` does not cover a class falls back to native at that
+point — which is exactly how cgroups ends up managing only the
+INTERMEDIATE class (§6).
 """
 
 from __future__ import annotations
@@ -24,11 +26,10 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.config import ClusterConfig
-from repro.core.base import IOScheduler, NativeScheduler
+from repro.core.base import IOScheduler
 from repro.core.broker import BrokerClient, SchedulingBroker
 from repro.core.policy import NodePolicy, PolicySpec
-from repro.core.request import IORequest
-from repro.core.tags import IOClass
+from repro.dataplane import IOClass, IOPath, IORequest
 from repro.simcore import Event, Simulator
 from repro.storage import StorageDevice
 from repro.telemetry import TelemetryBus
@@ -37,7 +38,7 @@ __all__ = ["DataNodeIO", "NodePolicy", "PolicySpec"]
 
 
 class DataNodeIO:
-    """The storage stack of one worker node, with interposed schedulers.
+    """The storage stack of one worker node: three interposed I/O paths.
 
     All schedulers, both devices and any broker client publish onto one
     shared :class:`TelemetryBus` (``self.telemetry``) — pass the
@@ -64,48 +65,37 @@ class DataNodeIO:
         self.tmp_device = StorageDevice(
             sim, config.storage, name=f"{node_id}:tmp", telemetry=self.telemetry
         )
-        self.schedulers: dict[IOClass, IOScheduler] = {}
-        self.broker_clients: list[BrokerClient] = []
+        self.paths: dict[IOClass, IOPath] = {}
         for io_class, device in (
             (IOClass.PERSISTENT, self.hdfs_device),
             (IOClass.INTERMEDIATE, self.tmp_device),
             (IOClass.NETWORK, self.tmp_device),
         ):
-            spec = self.policy.spec_for(io_class)
-            name = f"{node_id}:{io_class.value}"
-            info = spec.info
-            if info.manages(io_class):
-                sched = info.build(
-                    sim, device, spec, name=name, telemetry=self.telemetry
-                )
-            else:
-                # The scheduler cannot see this class's I/Os (cgroups only
-                # sees container-issued local I/O, §6): run it unmanaged.
-                sched = NativeScheduler(
-                    sim, device, name=name, telemetry=self.telemetry
-                )
-            self.schedulers[io_class] = sched
-            if (
-                spec.coordinated
-                and broker is not None
-                and info.supports_coordination
-                and info.manages(io_class)
-            ):
-                self.broker_clients.append(
-                    BrokerClient(
-                        sim,
-                        broker,
-                        sched,
-                        client_id=name,
-                        period=spec.sync_period,
-                        scope=io_class.value,
-                    )
-                )
+            self.paths[io_class] = IOPath.build(
+                sim,
+                node_id,
+                io_class,
+                self.policy.spec_for(io_class),
+                device,
+                broker=broker,
+                telemetry=self.telemetry,
+            )
+        self.schedulers: dict[IOClass, IOScheduler] = {
+            io_class: path.scheduler for io_class, path in self.paths.items()
+        }
+        self.broker_clients: list[BrokerClient] = [
+            path.broker_client
+            for path in self.paths.values()
+            if path.broker_client is not None
+        ]
 
     # ------------------------------------------------------------------ api
     def submit(self, req: IORequest) -> Event:
-        """Route a tagged request to the interposed scheduler of its class."""
-        return self.schedulers[req.io_class].submit(req)
+        """Route a tagged request to the interposed path of its class."""
+        return self.paths[req.io_class].submit(req)
+
+    def path(self, io_class: IOClass) -> IOPath:
+        return self.paths[io_class]
 
     def scheduler(self, io_class: IOClass) -> IOScheduler:
-        return self.schedulers[io_class]
+        return self.paths[io_class].scheduler

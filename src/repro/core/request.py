@@ -1,67 +1,10 @@
-"""The unit of scheduling: a tagged I/O request."""
+"""Deprecated location — requests live in :mod:`repro.dataplane.request`.
 
-from __future__ import annotations
+The dataplane refactor moved :class:`IORequest` (now carrying the full
+lifecycle state machine) down into :mod:`repro.dataplane`.  This module
+re-exports it so existing imports keep working.
+"""
 
-from typing import Optional
-
-from repro.core.tags import IOClass, IOTag
-from repro.simcore import Event, Simulator
+from repro.dataplane.request import IORequest
 
 __all__ = ["IORequest"]
-
-
-class IORequest:
-    """One tagged I/O, queued at an interposed scheduler.
-
-    ``completion`` succeeds (with the device's ``IOCompletion``) once the
-    device has serviced the request.  ``start_tag``/``finish_tag`` are
-    filled in by SFQ-family schedulers.
-    """
-
-    __slots__ = (
-        "tag",
-        "op",
-        "nbytes",
-        "io_class",
-        "submit_time",
-        "dispatch_time",
-        "completion",
-        "start_tag",
-        "finish_tag",
-    )
-
-    def __init__(
-        self,
-        sim: Simulator,
-        tag: IOTag,
-        op: str,
-        nbytes: int,
-        io_class: IOClass = IOClass.PERSISTENT,
-    ):
-        if op not in ("read", "write"):
-            raise ValueError(f"unknown op {op!r}")
-        if nbytes <= 0:
-            raise ValueError(f"nbytes must be positive, got {nbytes}")
-        self.tag = tag
-        self.op = op
-        self.nbytes = int(nbytes)
-        self.io_class = io_class
-        self.submit_time: float = sim.now
-        self.dispatch_time: Optional[float] = None
-        self.completion: Event = Event(sim, name=f"ioreq:{tag.app_id}:{op}")
-        self.start_tag: float = 0.0
-        self.finish_tag: float = 0.0
-
-    @property
-    def app_id(self) -> str:
-        return self.tag.app_id
-
-    @property
-    def weight(self) -> float:
-        return self.tag.weight
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"<IORequest {self.tag.app_id} {self.op} {self.nbytes}B "
-            f"{self.io_class.value}>"
-        )

@@ -99,6 +99,13 @@ class ReservationScheduler(IOScheduler):
         self._queues[app].append(req)
         self._pump(app)
 
+    def _remove(self, req: IORequest) -> None:
+        # Token buckets are only charged at release: no rollback needed.
+        queue = self._queues.get(req.app_id)
+        if queue is None or req not in queue:
+            raise ValueError(f"{req!r} is not queued at {self.name}")
+        queue.remove(req)
+
     def _on_complete(self, req: IORequest, done: IOCompletion) -> None:
         # A freed depth slot may admit any app whose bucket allows it.
         for app in list(self._queues):

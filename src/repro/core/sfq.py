@@ -90,10 +90,32 @@ class SFQDScheduler(IOScheduler):
         finish = start + cost
         req.start_tag = start
         req.finish_tag = finish
+        req.prev_finish = prev_finish  # for cancellation tag rollback
         self._finish_tags[app] = finish
         self._seq += 1
         heapq.heappush(self._queue, (start, self._seq, req))
         self._try_dispatch()
+
+    def _remove(self, req: IORequest) -> None:
+        """Withdraw a queued request (cancellation).
+
+        The heap is rebuilt without the request — O(queue) on the rare
+        cancel path, zero cost on the hot path.  The app's finish-tag
+        chain is rolled back when the cancelled request is its tail, so
+        an identical subsequent workload receives identical tags.
+        Virtual time and ``outstanding`` are untouched: both advance
+        only on dispatch, which never happened.  A DSFQ start delay
+        consumed at enqueue is *not* restored — the broker re-derives
+        delays from total service each sync period (§5).
+        """
+        n = len(self._queue)
+        self._queue = [e for e in self._queue if e[2] is not req]
+        if len(self._queue) == n:
+            raise ValueError(f"{req!r} is not queued at {self.name}")
+        heapq.heapify(self._queue)
+        app = req.app_id
+        if self._finish_tags.get(app) == req.finish_tag:
+            self._finish_tags[app] = req.prev_finish
 
     def _try_dispatch(self) -> None:
         while self._queue and self.outstanding < self.depth:

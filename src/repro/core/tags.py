@@ -1,41 +1,10 @@
-"""I/O classes and application tags (§3).
+"""Deprecated location — tags live in :mod:`repro.dataplane.tags`.
 
-Every I/O issued anywhere in the big-data stack is tagged with the
-application it belongs to and the application's I/O service weight, so
-the interposed schedulers can differentiate competing applications
-without any application modification.
+The dataplane refactor moved :class:`IOClass`/:class:`IOTag` down into
+:mod:`repro.dataplane` (they are the first stop of the submission
+path).  This module re-exports them so existing imports keep working.
 """
 
-from __future__ import annotations
-
-import enum
-from dataclasses import dataclass
+from repro.dataplane.tags import IOClass, IOTag
 
 __all__ = ["IOClass", "IOTag"]
-
-
-class IOClass(enum.Enum):
-    """The three kinds of I/O IBIS interposes on a datanode (§3)."""
-
-    PERSISTENT = "persistent"      # HDFS reads (map input) / writes (reduce output)
-    INTERMEDIATE = "intermediate"  # local-FS spill/merge of in-progress data
-    NETWORK = "network"            # shuffle servlet reads serving reduce fetches
-
-
-@dataclass(frozen=True)
-class IOTag:
-    """Application identity carried in the header of each data request.
-
-    The job scheduler hands the application its id; all parallel tasks
-    tag their I/Os with it (§3, last paragraph).  Only relative weights
-    matter (§4).
-    """
-
-    app_id: str
-    weight: float = 1.0
-
-    def __post_init__(self):
-        if not self.app_id:
-            raise ValueError("app_id must be non-empty")
-        if self.weight <= 0:
-            raise ValueError(f"weight must be positive, got {self.weight}")

@@ -1,0 +1,76 @@
+"""Cancellation scopes: withdraw a dead task's queued I/O.
+
+A :class:`CancelScope` groups the in-flight requests of one unit of
+work (one task attempt).  Tasks tag their I/O with
+``job.tag.scoped(scope)``; schedulers register every accepted request
+with the scope and de-register it at any terminal state.  When the
+task dies, ``scope.cancel()`` withdraws every request that is still
+*queued* — dispatched requests are already at the device and run to
+completion; their results are simply unobserved.
+
+Cancellation walks the live set in **reverse submission order** so
+SFQ finish-tag rollback unwinds each app's tag chain exactly (the last
+request enqueued is the app's current ``F_prev``; removing it restores
+the previous one, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dataplane.lifecycle import RequestState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane.request import IORequest
+
+__all__ = ["CancelScope"]
+
+
+class CancelScope:
+    """Tracks the live requests of one task attempt for cancellation."""
+
+    __slots__ = ("name", "cancelled", "cancelled_requests", "_live")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.cancelled = False
+        #: requests withdrawn from scheduler queues by :meth:`cancel`
+        self.cancelled_requests = 0
+        # Insertion-ordered live set (dict keyed by identity): O(1)
+        # register/discard, deterministic iteration on cancel.
+        self._live: dict["IORequest", None] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else f"{len(self._live)} live"
+        return f"<CancelScope {self.name or '?'} {state}>"
+
+    @property
+    def live(self) -> int:
+        """Requests currently registered (queued or dispatched)."""
+        return len(self._live)
+
+    def register(self, req: "IORequest") -> None:
+        """Track a request accepted by a scheduler under this scope."""
+        self._live[req] = None
+
+    def _discard(self, req: "IORequest") -> None:
+        """Stop tracking a request that reached a terminal state."""
+        self._live.pop(req, None)
+
+    def cancel(self) -> int:
+        """Withdraw every still-queued request; returns how many.
+
+        Idempotent.  After this, any *new* submission under a tag bound
+        to this scope is refused at the interposition point (failed
+        with :class:`~repro.simcore.RequestCancelled` before it touches
+        a queue).
+        """
+        self.cancelled = True
+        withdrawn = 0
+        # Reverse submission order: exact SFQ finish-tag unwinding.
+        for req in reversed(list(self._live)):
+            if req.state is RequestState.QUEUED:
+                req._sched.cancel(req)
+                withdrawn += 1
+        self.cancelled_requests += withdrawn
+        return withdrawn

@@ -1,0 +1,82 @@
+"""Span accounting: queue-wait vs device-service decomposition.
+
+A :class:`SpanRecorder` subscribes to the ``span`` telemetry kind —
+which is also what *enables* span publication: schedulers only build
+:class:`~repro.telemetry.Span` events when someone subscribed, so runs
+without a recorder (or trace sink) pay nothing.  It aggregates one
+sample list per (app, I/O class) and summarises them as
+p50/p95/p99/mean — the per-request delay decomposition adaptive
+policies act on (cf. BoPF's per-queue service accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.telemetry import SPAN, Span, TelemetryBus
+
+__all__ = ["SpanRecorder", "percentile_summary"]
+
+#: The percentiles a summary reports, as (label, q) pairs.
+PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+
+
+def percentile_summary(samples: "list[float]") -> dict[str, float]:
+    """count/mean/p50/p95/p99 of one sample list (all 0.0 if empty)."""
+    if not samples:
+        return {"count": 0, "mean": 0.0,
+                **{label: 0.0 for label, _q in PERCENTILES}}
+    arr = np.asarray(samples, dtype=float)
+    out: dict[str, Any] = {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+    }
+    for label, q in PERCENTILES:
+        out[label] = float(np.percentile(arr, q))
+    return out
+
+
+class SpanRecorder:
+    """Aggregates span events into per-(app, class) latency samples."""
+
+    def __init__(self, bus: TelemetryBus, source: Optional[str] = None):
+        #: (app_id, io_class) -> {"queue_wait": [...], "service": [...]}
+        self.samples: dict[tuple[str, str], dict[str, list[float]]] = {}
+        #: (app_id, io_class) -> terminal-state counts
+        self.outcomes: dict[tuple[str, str], dict[str, int]] = {}
+        self.records = 0
+        bus.subscribe(SPAN, self._on_span, source=source)
+
+    def _on_span(self, ev: Span) -> None:
+        key = (ev.app_id, ev.io_class)
+        outcomes = self.outcomes.setdefault(key, {})
+        outcomes[ev.state] = outcomes.get(ev.state, 0) + 1
+        self.records += 1
+        if ev.state != "completed":
+            return  # failed/cancelled spans count as outcomes only
+        samples = self.samples.setdefault(
+            key, {"queue_wait": [], "service": []}
+        )
+        samples["queue_wait"].append(ev.queue_wait)
+        samples["service"].append(ev.service)
+
+    def summary(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """``{app: {io_class: {queue_wait: {...}, service: {...},
+        outcomes: {...}}}}`` with p50/p95/p99/mean per distribution
+        (completed requests only; other terminal states appear in
+        ``outcomes``).  JSON-ready and deterministic."""
+        out: dict[str, dict[str, dict[str, Any]]] = {}
+        for (app, io_class) in sorted(self.outcomes):
+            samples = self.samples.get(
+                (app, io_class), {"queue_wait": [], "service": []}
+            )
+            out.setdefault(app, {})[io_class] = {
+                "queue_wait": percentile_summary(samples["queue_wait"]),
+                "service": percentile_summary(samples["service"]),
+                "outcomes": dict(sorted(
+                    self.outcomes[(app, io_class)].items()
+                )),
+            }
+        return out

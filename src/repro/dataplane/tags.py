@@ -1,0 +1,59 @@
+"""I/O classes and application tags (§3).
+
+Every I/O issued anywhere in the big-data stack is tagged with the
+application it belongs to and the application's I/O service weight, so
+the interposed schedulers can differentiate competing applications
+without any application modification.
+
+A tag may additionally carry a :class:`~repro.dataplane.scope.
+CancelScope` (``scoped()``): requests submitted under a scoped tag are
+tracked by that scope and withdrawn from the scheduler queues when the
+issuing task dies.  The scope is transport metadata — it never affects
+tag equality, hashing or the scheduling arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane.scope import CancelScope
+
+__all__ = ["IOClass", "IOTag"]
+
+
+class IOClass(enum.Enum):
+    """The three kinds of I/O IBIS interposes on a datanode (§3)."""
+
+    PERSISTENT = "persistent"      # HDFS reads (map input) / writes (reduce output)
+    INTERMEDIATE = "intermediate"  # local-FS spill/merge of in-progress data
+    NETWORK = "network"            # shuffle servlet reads serving reduce fetches
+
+
+@dataclass(frozen=True)
+class IOTag:
+    """Application identity carried in the header of each data request.
+
+    The job scheduler hands the application its id; all parallel tasks
+    tag their I/Os with it (§3, last paragraph).  Only relative weights
+    matter (§4).
+    """
+
+    app_id: str
+    weight: float = 1.0
+    scope: Optional["CancelScope"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self):
+        if not self.app_id:
+            raise ValueError("app_id must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    def scoped(self, scope: "CancelScope") -> "IOTag":
+        """The same tag bound to a cancellation scope."""
+        return dataclasses.replace(self, scope=scope)

@@ -786,6 +786,7 @@ def _faults_outcome(man) -> dict:
         "failovers": man.counters["failovers"],
         "retries": man.counters["retries"],
         "orphaned": man.counters["orphaned"],
+        "cancelled": man.counters["cancelled"],
     }
 
 
@@ -842,7 +843,9 @@ def tab3_loc(config: ClusterConfig | None = None) -> ExperimentResult:
     result = ExperimentResult("tab3_loc")
     root = pathlib.Path(__file__).resolve().parent.parent
     components = {
-        "interposition": ["core/tags.py", "core/request.py", "core/base.py",
+        "interposition": ["dataplane/tags.py", "dataplane/request.py",
+                          "dataplane/lifecycle.py", "dataplane/scope.py",
+                          "dataplane/path.py", "core/base.py",
                           "core/interposition.py"],
         "sfq(d) scheduler": ["core/sfq.py"],
         "sfq(d2) scheduler": ["core/sfqd2.py", "core/profiling.py"],

@@ -66,6 +66,27 @@ def result_payload(result: ExperimentResult) -> str:
     )
 
 
+def _latency_lines(latency: "dict[str, Any]") -> list[str]:
+    """Render the per-(app, class) span decomposition, one line each."""
+    lines = ["latency (queue wait | device service, seconds):"]
+    for app in sorted(latency):
+        for io_class in sorted(latency[app]):
+            cell = latency[app][io_class]
+            wait, service = cell["queue_wait"], cell["service"]
+            outcomes = ", ".join(
+                f"{state}={n}" for state, n in sorted(cell["outcomes"].items())
+            )
+            lines.append(
+                f"  {app}/{io_class}: "
+                f"wait p50 {wait['p50']:.4f} p95 {wait['p95']:.4f} "
+                f"p99 {wait['p99']:.4f} | "
+                f"service p50 {service['p50']:.4f} p95 {service['p95']:.4f} "
+                f"p99 {service['p99']:.4f} "
+                f"({outcomes})"
+            )
+    return lines
+
+
 def format_manifest(manifest: "RunManifest") -> str:
     """Full report of one scenario run: identity, rows, summaries."""
     parts = [
@@ -79,6 +100,9 @@ def format_manifest(manifest: "RunManifest") -> str:
     if manifest.rows:
         parts.append(format_rows(manifest.rows))
     for key, value in manifest.summary.items():
+        if key == "latency":
+            parts.extend(_latency_lines(value))
+            continue
         parts.append(f"summary {key}: {_fmt(value)}")
     for key, value in manifest.counters.items():
         parts.append(f"counter {key}: {_fmt(value)}")

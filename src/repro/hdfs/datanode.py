@@ -13,9 +13,14 @@ is queued at the PERSISTENT-class scheduler of the replica's node.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core import DataNodeIO, IOClass, IORequest, IOTag
+
+# Deprecated re-exports: the chunking/windowing primitives moved into
+# the dataplane (every streaming entry point shares them, not just
+# HDFS).  Import them from repro.dataplane.streams in new code.
+from repro.dataplane.streams import iter_chunks, windowed_stream
 from repro.hdfs.blocks import BlockLocations
 from repro.net import NetFabric
 from repro.simcore import Event, FaultError, Interrupt, Simulator
@@ -25,42 +30,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultInjector, FaultPlan
 
 __all__ = ["BlockService", "iter_chunks", "windowed_stream"]
-
-
-def iter_chunks(total: int, chunk: int) -> Iterator[int]:
-    """Yield chunk sizes covering ``total`` bytes."""
-    if total <= 0:
-        raise ValueError("total must be positive")
-    if chunk <= 0:
-        raise ValueError("chunk must be positive")
-    remaining = total
-    while remaining > 0:
-        size = min(chunk, remaining)
-        yield size
-        remaining -= size
-
-
-def windowed_stream(
-    sim: Simulator,
-    chunk_events: Iterator[Callable[[], Event]],
-    window: int,
-):
-    """Generator: drive chunk operations keeping up to ``window`` in flight.
-
-    Each element of ``chunk_events`` is a thunk producing the event for
-    one chunk (a device completion, or a sub-process for multi-leg
-    chunks).  Completes when every chunk has completed.
-    """
-    if window < 1:
-        raise ValueError("window must be >= 1")
-    active: list[Event] = []
-    for make in chunk_events:
-        while len(active) >= window:
-            yield sim.any_of(active)
-            active = [e for e in active if not e.processed]
-        active.append(make())
-    if active:
-        yield sim.all_of(active)
 
 
 class BlockService:

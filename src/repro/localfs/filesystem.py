@@ -12,8 +12,8 @@ a modest readahead — same windows as the HDFS streams.
 
 from __future__ import annotations
 
-from repro.core import DataNodeIO, IOClass, IORequest, IOTag
-from repro.hdfs.datanode import iter_chunks, windowed_stream
+from repro.core import DataNodeIO, IOClass, IOTag
+from repro.dataplane.streams import request_stream
 from repro.simcore import Simulator
 
 __all__ = ["LocalFS"]
@@ -56,11 +56,7 @@ class LocalFS:
         ))
 
     def _stream(self, op, nbytes, tag, io_class, window):
-        def make(size):
-            return lambda: self.node.submit(
-                IORequest(self.sim, tag, op, size, io_class)
-            )
-
-        thunks = (make(s) for s in iter_chunks(nbytes, self.chunk))
-        yield from windowed_stream(self.sim, thunks, window)
-        return nbytes
+        return (yield from request_stream(
+            self.sim, self.node.path(io_class).submit, tag, op, nbytes,
+            io_class, self.chunk, window,
+        ))

@@ -10,6 +10,7 @@ marks the job finished when its last task ends.
 from __future__ import annotations
 
 from repro.config import YarnConfig
+from repro.dataplane import CancelScope
 from repro.mapreduce.job import Job
 from repro.mapreduce.task import TaskEnv, run_map_task, run_reduce_task
 from repro.simcore import FaultError, Interrupt, SimulationError
@@ -67,7 +68,9 @@ class AppMaster:
             raise ValueError(f"job {spec.name!r} planned zero maps")
 
         def map_factory(i, blocks):
-            return lambda node: run_map_task(self.env, job, i, node, blocks)
+            return lambda node, scope: run_map_task(
+                self.env, job, i, node, blocks, scope
+            )
 
         map_procs = [
             sim.process(
@@ -89,7 +92,9 @@ class AppMaster:
             while job.maps_completed < threshold:
                 yield job.map_output_gate.wait()
             def reduce_factory(r):
-                return lambda node: run_reduce_task(self.env, job, r, node)
+                return lambda node, scope: run_reduce_task(
+                    self.env, job, r, node, scope
+                )
 
             reduce_procs = [
                 sim.process(
@@ -116,8 +121,10 @@ class AppMaster:
 
         A task killed by an injected fault (its node crashed, or all its
         I/O retries were exhausted) is re-run in a fresh container on a
-        different node, up to ``yarn.max_task_attempts`` attempts.  Any
-        non-fault failure propagates: it's a model bug, not weather.
+        different node, up to ``yarn.max_task_attempts`` attempts; the
+        dead attempt's cancel scope withdraws its still-queued I/O from
+        the schedulers before the retry.  Any non-fault failure
+        propagates: it's a model bug, not weather.
         """
         sim = self.env.sim
         env = self.env
@@ -128,8 +135,12 @@ class AppMaster:
             grant: ContainerGrant = yield self.rm.request_container(
                 self.job.app_id, vcores, memory, prefer
             )
+            scope = CancelScope(
+                name=f"{self.job.app_id}:{what}:a{attempts}"
+            )
             proc = sim.process(
-                task_factory(grant.node_id), name=f"task@{grant.node_id}"
+                task_factory(grant.node_id, scope),
+                name=f"task@{grant.node_id}",
             )
             if env.faults is not None:
                 env.faults.watch_task(grant.node_id, proc)
@@ -144,6 +155,7 @@ class AppMaster:
                 failure = exc
             finally:
                 self.rm.release_container(self.job.app_id, grant)
+            scope.cancel()
             attempts += 1
             avoid.add(grant.node_id)
             if attempts >= self.yarn.max_task_attempts:

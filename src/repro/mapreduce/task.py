@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.config import MB
+from repro.dataplane import CancelScope
 from repro.hdfs import DFSClient
 from repro.localfs import LocalFS
 from repro.mapreduce.job import Job, MapOutput
@@ -59,11 +60,17 @@ def _cpu_time(nbytes: float, s_per_mb: float, env: TaskEnv) -> float:
 
 
 def run_map_task(env: TaskEnv, job: Job, map_index: int, node_id: str,
-                 split_blocks: tuple[int, ...]):
-    """Generator: one map task on ``node_id``."""
+                 split_blocks: tuple[int, ...],
+                 scope: Optional[CancelScope] = None):
+    """Generator: one map task on ``node_id``.
+
+    With a ``scope``, every I/O the task issues is registered for
+    cancellation: if the attempt dies, its still-queued requests are
+    withdrawn from the schedulers instead of draining as orphans.
+    """
     sim = env.sim
     spec = job.spec
-    tag = job.tag
+    tag = job.tag if scope is None else job.tag.scoped(scope)
 
     # 1. Input: read the split from HDFS, or nothing for generator jobs.
     input_bytes = 0
@@ -103,11 +110,12 @@ def run_map_task(env: TaskEnv, job: Job, map_index: int, node_id: str,
     job.note_map_output(MapOutput(map_index, node_id, map_out))
 
 
-def run_reduce_task(env: TaskEnv, job: Job, reduce_index: int, node_id: str):
+def run_reduce_task(env: TaskEnv, job: Job, reduce_index: int, node_id: str,
+                    scope: Optional[CancelScope] = None):
     """Generator: one reduce task on ``node_id``."""
     sim = env.sim
     spec = job.spec
-    tag = job.tag
+    tag = job.tag if scope is None else job.tag.scoped(scope)
     lfs = env.localfs[node_id]
     slots = Resource(sim, SHUFFLE_PARALLELISM, name=f"fetch:{job.app_id}")
     merge_f = spec.reduce_merge_factor

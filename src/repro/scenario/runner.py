@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster import BigDataCluster
 from repro.config import MB
 from repro.core import canonical_json
+from repro.dataplane import SpanRecorder
 from repro.hive import build_query, run_query
 from repro.hive.engine import QueryRun
 from repro.mapreduce import Job
@@ -260,6 +261,11 @@ class ScenarioRunner:
                 CounterSink(cluster.telemetry, REPLICA_FAILOVER),
                 CounterSink(cluster.telemetry, TASK_RETRY),
             )
+        span_recorder = None
+        if "latency" in measure.metrics:
+            # Subscribing is what switches span publication on: the
+            # schedulers only build Span events once someone listens.
+            span_recorder = SpanRecorder(cluster.telemetry)
         depth_sinks = None
         if "depth_trace" in measure.metrics:
             source = measure.options.get("depth_source", "dn00:persistent")
@@ -312,7 +318,8 @@ class ScenarioRunner:
             trace_path=str(self.trace_path) if self.trace_path else None,
         )
         self._collect(scenario, cluster, handles, manifest,
-                      fault_sinks=fault_sinks, depth_sinks=depth_sinks)
+                      fault_sinks=fault_sinks, depth_sinks=depth_sinks,
+                      span_recorder=span_recorder)
         return manifest
 
     # ------------------------------------------------------------ metrics
@@ -324,6 +331,7 @@ class ScenarioRunner:
         manifest: RunManifest,
         fault_sinks=None,
         depth_sinks=None,
+        span_recorder=None,
     ) -> None:
         measure = scenario.measure
         metrics = measure.metrics
@@ -385,6 +393,9 @@ class ScenarioRunner:
             manifest.counters["failovers"] = failovers.count
             manifest.counters["retries"] = retries.count
             manifest.counters["orphaned"] = cluster.sim.orphaned_faults
+            manifest.counters["cancelled"] = cluster.sim.cancelled_collateral
+        if "latency" in metrics:
+            manifest.summary["latency"] = span_recorder.summary()
         if "scheduler_stats" in metrics:
             manifest.counters["requests"] = sum(
                 s.stats.total_requests for s in cluster.schedulers()

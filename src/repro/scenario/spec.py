@@ -59,6 +59,7 @@ METRICS = (
     "scheduler_stats",   # request counts + broker traffic (Tab. 2)
     "device_series",     # per-second read/write MB/s series (Fig. 2)
     "depth_trace",       # SFQ(D2) depth + latency trace (Fig. 7)
+    "latency",           # per-(app, class) queue-wait/service percentiles
 )
 
 #: Where a windowed metric's observation window ends.

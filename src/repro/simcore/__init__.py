@@ -14,6 +14,7 @@ from repro.simcore.engine import (
     FaultError,
     Interrupt,
     Process,
+    RequestCancelled,
     SimulationError,
     Simulator,
     Timeout,
@@ -30,6 +31,7 @@ __all__ = [
     "Interrupt",
     "Process",
     "RateMeter",
+    "RequestCancelled",
     "Resource",
     "RngRegistry",
     "SimulationError",

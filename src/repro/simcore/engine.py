@@ -26,6 +26,7 @@ __all__ = [
     "FaultError",
     "Interrupt",
     "Process",
+    "RequestCancelled",
     "SimulationError",
     "Simulator",
     "Timeout",
@@ -46,6 +47,20 @@ class FaultError(Exception):
     its owner already died (e.g. an in-flight chunk of an interrupted
     task) — and count it instead of crashing the simulation, while
     genuine unhandled model errors still surface.
+    """
+
+
+class RequestCancelled(Exception):
+    """A queued I/O request was cancelled before it reached the device.
+
+    Raised into waiters when a :class:`~repro.dataplane.CancelScope` is
+    cancelled (a task died and its not-yet-dispatched I/O was withdrawn
+    from the scheduler queues).  Defined in the engine, like
+    :class:`FaultError`, so the run loop can recognise *cancellation
+    collateral* — a background process (stream leg, shuffle fetcher)
+    whose pending request was cancelled after its owner already died —
+    and count it (``Simulator.cancelled_collateral``) instead of
+    crashing the simulation.
     """
 
 
@@ -408,6 +423,9 @@ class Simulator:
         #: orphaned processes killed by an injected fault (no joiner);
         #: counted rather than raised — see :class:`FaultError`.
         self.orphaned_faults = 0
+        #: orphaned processes killed by request cancellation (no joiner);
+        #: counted rather than raised — see :class:`RequestCancelled`.
+        self.cancelled_collateral = 0
 
     # -- event construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -510,6 +528,12 @@ class Simulator:
                     isinstance(exc, Interrupt) and isinstance(exc.cause, FaultError)
                 ):
                     self.orphaned_faults += 1
+                    continue
+                if isinstance(exc, RequestCancelled) or (
+                    isinstance(exc, Interrupt)
+                    and isinstance(exc.cause, RequestCancelled)
+                ):
+                    self.cancelled_collateral += 1
                     continue
                 if getattr(exc, "sim_process", None) is None:
                     try:

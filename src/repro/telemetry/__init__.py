@@ -30,6 +30,7 @@ from repro.telemetry.events import (
     REQUEST_COMPLETED,
     REQUEST_DISPATCHED,
     REQUEST_SUBMITTED,
+    SPAN,
     TASK_RETRY,
     BrokerOutage,
     BrokerSync,
@@ -42,6 +43,7 @@ from repro.telemetry.events import (
     RequestCompleted,
     RequestDispatched,
     RequestSubmitted,
+    Span,
     TaskRetry,
     event_record,
 )
@@ -72,6 +74,7 @@ __all__ = [
     "REQUEST_COMPLETED",
     "REQUEST_DISPATCHED",
     "REQUEST_SUBMITTED",
+    "SPAN",
     "TASK_RETRY",
     "AppRateMeterSink",
     "BrokerOutage",
@@ -88,6 +91,7 @@ __all__ = [
     "RequestCompleted",
     "RequestDispatched",
     "RequestSubmitted",
+    "Span",
     "TRACE_SCHEMA",
     "TaskRetry",
     "TelemetryBus",

@@ -33,6 +33,7 @@ __all__ = [
     "REQUEST_COMPLETED",
     "REQUEST_DISPATCHED",
     "REQUEST_SUBMITTED",
+    "SPAN",
     "TASK_RETRY",
     "BrokerOutage",
     "BrokerSync",
@@ -45,6 +46,7 @@ __all__ = [
     "RequestCompleted",
     "RequestDispatched",
     "RequestSubmitted",
+    "Span",
     "TaskRetry",
     "event_record",
 ]
@@ -61,6 +63,7 @@ NODE_UP = "node_up"
 REPLICA_FAILOVER = "replica_failover"
 TASK_RETRY = "task_retry"
 BROKER_OUTAGE = "broker_outage"
+SPAN = "span"
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,6 +214,30 @@ class BrokerOutage:
     down: bool           # True at outage start, False at recovery
 
 
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One request's full dataplane life, emitted at its terminal state.
+
+    Decomposes end-to-end latency into queue wait (admission to
+    dispatch) and device service (dispatch to completion) straight from
+    the request's lifecycle timestamps.  ``state`` is the terminal
+    lifecycle state; cancelled requests report the wait they accumulated
+    before withdrawal and zero service.  Only built when a subscriber
+    asked for spans — the hot path stays span-free otherwise.
+    """
+
+    kind: ClassVar[str] = SPAN
+    t: float
+    source: str          # the scheduler the request was queued at
+    app_id: str
+    op: str
+    nbytes: int
+    io_class: str
+    state: str           # "completed" | "failed" | "cancelled"
+    queue_wait: float    # seconds from queue admission to dispatch
+    service: float       # seconds from dispatch to device completion
+
+
 EVENT_KINDS: tuple[str, ...] = (
     REQUEST_SUBMITTED,
     REQUEST_DISPATCHED,
@@ -224,6 +251,7 @@ EVENT_KINDS: tuple[str, ...] = (
     REPLICA_FAILOVER,
     TASK_RETRY,
     BROKER_OUTAGE,
+    SPAN,
 )
 
 

@@ -72,10 +72,16 @@ TRACE_SCHEMA: dict[str, dict[str, type]] = {
     "broker_outage": {
         "t": float, "source": str, "down": bool,
     },
+    "span": {
+        "t": float, "source": str, "app_id": str, "op": str,
+        "nbytes": int, "io_class": str, "state": str,
+        "queue_wait": float, "service": float,
+    },
 }
 
 _IO_CLASSES = ("persistent", "intermediate", "network")
 _OPS = ("read", "write")
+_SPAN_STATES = ("completed", "failed", "cancelled")
 
 
 def validate_trace_record(rec: dict[str, Any]) -> None:
@@ -108,6 +114,8 @@ def validate_trace_record(rec: dict[str, Any]) -> None:
         raise ValueError(f"bad op {rec['op']!r}")
     if "io_class" in fields and rec["io_class"] not in _IO_CLASSES:
         raise ValueError(f"bad io_class {rec['io_class']!r}")
+    if "state" in fields and rec["state"] not in _SPAN_STATES:
+        raise ValueError(f"bad span state {rec['state']!r}")
 
 
 def validate_trace_line(line: str) -> dict[str, Any]:

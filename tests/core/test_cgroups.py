@@ -43,7 +43,7 @@ def test_throttle_caps_rate():
     sim.run()
     # 5 x 1MB at 1 MB/s: the last request cannot *dispatch* before t=4.
     assert all(r.completion.processed for r in reqs)
-    assert reqs[-1].dispatch_time >= 4.0
+    assert reqs[-1].t_dispatched >= 4.0
 
 
 def test_throttle_is_not_work_conserving():
@@ -56,7 +56,7 @@ def test_throttle_is_not_work_conserving():
     r2 = submit(sim, sched, "capped", nbytes=10 * MB)
     sim.run()
     # Device could do 100 MB/s but pacing releases r2 only at t=1.
-    assert r2.dispatch_time == pytest.approx(1.0)
+    assert r2.t_dispatched == pytest.approx(1.0)
 
 
 def test_throttle_uncapped_apps_passthrough():
@@ -64,7 +64,7 @@ def test_throttle_uncapped_apps_passthrough():
     dev = StorageDevice(sim, FLAT)
     sched = CgroupsThrottleScheduler(sim, dev, rates_bps={"capped": 1.0 * MB})
     free = submit(sim, sched, "free", nbytes=4 * MB)
-    assert free.dispatch_time == 0.0
+    assert free.t_dispatched == 0.0
     sim.run()
     assert free.completion.processed
 
@@ -99,7 +99,7 @@ def test_throttle_bucket_refills_over_idle_gaps():
         r2 = IORequest(sim, IOTag("c", 1.0), "write", 1 * MB, IOClass.INTERMEDIATE)
         t0 = sim.now
         yield sched.submit(r2)
-        return r2.dispatch_time - t0
+        return r2.t_dispatched - t0
 
     wait = sim.run(until=sim.process(proc()))
     assert wait == pytest.approx(0.0)  # no residual debt after the gap

@@ -53,7 +53,7 @@ def test_not_work_conserving_even_when_idle():
     r2 = submit(sim, sched, "a", 10 * MB)
     sim.run()
     # Second request waits for the bucket (10 MB at 10 MB/s = 1 s).
-    assert r2.dispatch_time == pytest.approx(1.0)
+    assert r2.t_dispatched == pytest.approx(1.0)
 
 
 def test_isolation_between_reserved_apps():

@@ -27,7 +27,7 @@ def test_request_carries_tag_fields():
     assert req.weight == 32.0
     assert req.io_class is IOClass.NETWORK
     assert req.submit_time == 0.0
-    assert req.dispatch_time is None
+    assert req.t_dispatched is None
 
 
 def test_request_validation():

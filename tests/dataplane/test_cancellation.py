@@ -1,0 +1,243 @@
+"""First-class cancellation: scope semantics and scheduler accounting."""
+
+import pytest
+
+from repro.config import MB, StorageProfile
+from repro.core import CgroupsThrottleScheduler, NativeScheduler, SFQDScheduler
+from repro.core.reservation import ReservationScheduler
+from repro.dataplane import (
+    CancelScope,
+    IOClass,
+    IORequest,
+    IOTag,
+    LifecycleError,
+    RequestState,
+)
+from repro.simcore import RequestCancelled, Simulator
+
+FLAT = StorageProfile(name="flat", peak_rate=100.0 * MB, n_half=0.0)
+
+
+def make_req(sim, app, scope=None, nbytes=4 * MB, weight=1.0):
+    tag = IOTag(app, weight)
+    if scope is not None:
+        tag = tag.scoped(scope)
+    return IORequest(sim, tag, "write", nbytes, IOClass.INTERMEDIATE)
+
+
+def sfqd(sim, depth=1):
+    from repro.storage import StorageDevice
+
+    return SFQDScheduler(sim, StorageDevice(sim, FLAT), depth=depth)
+
+
+# ----------------------------------------------------------------- SFQ tags
+def test_cancel_rolls_back_sfq_finish_tags():
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    blocker = make_req(sim, "x")
+    sched.submit(blocker)  # occupies the single dispatch slot
+    assert blocker.state is RequestState.DISPATCHED
+
+    scope = CancelScope(name="doomed")
+    r1 = make_req(sim, "y", scope)
+    r2 = make_req(sim, "y", scope)
+    sched.submit(r1)
+    sched.submit(r2)
+    assert sched.queued == 2
+    assert r2.prev_finish == r1.finish_tag
+
+    v_before = sched.virtual_time
+    assert scope.cancel() == 2
+    assert sched.queued == 0
+    # Tag chain fully unwound: app "y" is as if it never submitted.
+    assert sched._finish_tags["y"] == 0.0
+    # Virtual time and outstanding advance only on dispatch.
+    assert sched.virtual_time == v_before
+    assert sched.outstanding == 1
+
+    for req in (r1, r2):
+        assert req.state is RequestState.CANCELLED
+        assert isinstance(req.completion.exception, RequestCancelled)
+    assert scope.cancelled_requests == 2
+    assert scope.live == 0
+
+    # An identical follow-up request gets the tags r1 originally had.
+    r3 = make_req(sim, "y")
+    sched.submit(r3)
+    assert (r3.start_tag, r3.finish_tag) == (r1.start_tag, r1.finish_tag)
+
+
+def test_identical_tags_on_identical_rerun():
+    """A run that queues-then-cancels extra requests hands out the same
+    tags to the surviving workload as a run that never saw them."""
+
+    def run(with_cancelled):
+        sim = Simulator()
+        sched = sfqd(sim, depth=1)
+        sched.submit(make_req(sim, "x"))
+        if with_cancelled:
+            scope = CancelScope()
+            doomed = [make_req(sim, "y", scope) for _ in range(3)]
+            for req in doomed:
+                sched.submit(req)
+            scope.cancel()
+        survivors = [make_req(sim, "y"), make_req(sim, "z", weight=2.0)]
+        for req in survivors:
+            sched.submit(req)
+        sim.run()
+        return [(r.start_tag, r.finish_tag) for r in survivors]
+
+    assert run(with_cancelled=True) == run(with_cancelled=False)
+
+
+def test_cancel_is_idempotent_and_skips_dispatched():
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    scope = CancelScope()
+    first = make_req(sim, "y", scope)
+    second = make_req(sim, "y", scope)
+    sched.submit(first)   # dispatched: at the device, runs to completion
+    sched.submit(second)  # queued: withdrawn
+    assert scope.cancel() == 1
+    assert scope.cancel() == 0
+    assert first.state is RequestState.DISPATCHED
+    assert second.state is RequestState.CANCELLED
+    sim.run()
+    assert first.state is RequestState.COMPLETED
+    assert sched.stats.service_by_app == {"y": float(first.nbytes)}
+
+
+def test_submit_on_cancelled_scope_is_refused():
+    sim = Simulator()
+    sched = sfqd(sim, depth=4)
+    scope = CancelScope(name="late")
+    scope.cancel()
+    req = make_req(sim, "y", scope)
+    completion = sched.submit(req)
+    assert req.state is RequestState.CANCELLED
+    assert isinstance(completion.exception, RequestCancelled)
+    assert sched.queued == 0 and sched.outstanding == 0
+    assert scope.live == 0
+    sim.run()
+    assert sched.stats.total_requests == 0
+
+
+def test_cancel_rejects_non_queued_and_foreign_requests():
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    dispatched = make_req(sim, "x")
+    sched.submit(dispatched)
+    with pytest.raises(LifecycleError, match="not queued"):
+        sched.cancel(dispatched)
+    other = sfqd(sim, depth=1)
+    other.submit(make_req(sim, "x"))
+    queued_elsewhere = make_req(sim, "x")
+    other.submit(queued_elsewhere)
+    with pytest.raises(LifecycleError, match="queued at"):
+        sched.cancel(queued_elsewhere)
+
+
+def test_remove_of_unqueued_request_raises():
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    stranger = make_req(sim, "x")
+    with pytest.raises(ValueError, match="not queued"):
+        sched._remove(stranger)
+
+
+def test_native_scheduler_has_no_queue_to_cancel_from():
+    from repro.storage import StorageDevice
+
+    sim = Simulator()
+    native = NativeScheduler(sim, StorageDevice(sim, FLAT))
+    req = make_req(sim, "x")
+    native.submit(req)
+    assert req.state is RequestState.DISPATCHED  # passthrough never queues
+    with pytest.raises(LifecycleError):
+        native._remove(req)
+
+
+# ------------------------------------------------- other queueing schedulers
+def test_throttle_scheduler_withdraws_queued_requests():
+    from repro.storage import StorageDevice
+
+    sim = Simulator()
+    sched = CgroupsThrottleScheduler(
+        sim, StorageDevice(sim, FLAT), {"a": 1.0 * MB}
+    )
+    scope = CancelScope()
+    first = make_req(sim, "a", scope)
+    second = make_req(sim, "a", scope)
+    sched.submit(first)   # consumes the bucket, dispatches
+    sched.submit(second)  # paced: waits for the bucket
+    assert second.state is RequestState.QUEUED
+    assert scope.cancel() == 1
+    assert second.state is RequestState.CANCELLED
+    assert not sched._queues["a"]
+    sim.run()
+    assert first.state is RequestState.COMPLETED
+
+
+def test_reservation_scheduler_withdraws_queued_requests():
+    from repro.storage import StorageDevice
+
+    sim = Simulator()
+    sched = ReservationScheduler(
+        sim, StorageDevice(sim, FLAT), {"a": 0.5},
+        nominal_rate=100.0 * MB, depth=1,
+    )
+    scope = CancelScope()
+    first = make_req(sim, "a", scope)
+    second = make_req(sim, "a", scope)
+    sched.submit(first)
+    sched.submit(second)
+    assert second.state is RequestState.QUEUED
+    assert scope.cancel() == 1
+    assert second.state is RequestState.CANCELLED
+    sim.run()
+    assert first.state is RequestState.COMPLETED
+
+
+# ------------------------------------------------------- engine accounting
+def test_cancelled_collateral_not_counted_as_orphaned_fault():
+    """A process killed by request cancellation with nobody joining it is
+    cancellation collateral, not an orphaned fault."""
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    sched.submit(make_req(sim, "x"))  # hog the slot
+    scope = CancelScope()
+    doomed = make_req(sim, "y", scope)
+    completion = sched.submit(doomed)
+
+    def waiter():
+        yield completion  # RequestCancelled is raised here, uncaught
+
+    sim.process(waiter(), name="waiter")
+    scope.cancel()
+    sim.run()
+    assert sim.cancelled_collateral == 1
+    assert sim.orphaned_faults == 0
+
+
+def test_catching_process_is_not_collateral():
+    sim = Simulator()
+    sched = sfqd(sim, depth=1)
+    sched.submit(make_req(sim, "x"))
+    scope = CancelScope()
+    doomed = make_req(sim, "y", scope)
+    completion = sched.submit(doomed)
+    outcomes = []
+
+    def waiter():
+        try:
+            yield completion
+        except RequestCancelled:
+            outcomes.append("cancelled")
+
+    sim.process(waiter(), name="waiter")
+    scope.cancel()
+    sim.run()
+    assert outcomes == ["cancelled"]
+    assert sim.cancelled_collateral == 0
+    assert sim.orphaned_faults == 0

@@ -1,0 +1,101 @@
+"""Interposition routing and native fallback, via IOPath."""
+
+import pytest
+
+from repro.config import default_cluster
+from repro.core import (
+    DataNodeIO,
+    DepthController,
+    NodePolicy,
+    PolicySpec,
+    SchedulingBroker,
+)
+from repro.dataplane import IOClass, IOPath, IORequest, IOTag
+from repro.simcore import Simulator
+
+
+def make_node(policy, broker=None, scale=1.0 / 256):
+    sim = Simulator()
+    config = default_cluster(scale=scale)
+    node = DataNodeIO(sim, "dn00", config, policy, broker=broker)
+    return sim, node
+
+
+def test_three_paths_one_per_class():
+    sim, node = make_node(PolicySpec.sfqd(depth=4))
+    assert set(node.paths) == set(IOClass)
+    for io_class, path in node.paths.items():
+        assert isinstance(path, IOPath)
+        assert path.io_class is io_class
+        assert path.name == f"dn00:{io_class.value}"
+        assert node.path(io_class) is path
+        assert node.scheduler(io_class) is path.scheduler
+        assert node.schedulers[io_class] is path.scheduler
+
+
+def test_paths_share_devices_as_wired():
+    sim, node = make_node(PolicySpec.sfqd(depth=4))
+    assert node.paths[IOClass.PERSISTENT].device is node.hdfs_device
+    assert node.paths[IOClass.INTERMEDIATE].device is node.tmp_device
+    assert node.paths[IOClass.NETWORK].device is node.tmp_device
+
+
+def test_each_class_reaches_its_node_policy_scheduler():
+    policy = NodePolicy(
+        persistent=PolicySpec.sfqd2(DepthController.symmetric(0.05)),
+        intermediate=PolicySpec.sfqd(depth=2),
+        network=PolicySpec.native(),
+    )
+    sim, node = make_node(policy)
+    assert node.paths[IOClass.PERSISTENT].scheduler.algorithm == "sfq(d2)"
+    assert node.paths[IOClass.INTERMEDIATE].scheduler.algorithm == "sfq(d)"
+    assert node.paths[IOClass.NETWORK].scheduler.algorithm == "native"
+    assert not node.paths[IOClass.PERSISTENT].fallback
+    assert not node.paths[IOClass.NETWORK].fallback
+
+
+def test_manages_classes_exclusion_falls_back_to_native():
+    """cgroups declares INTERMEDIATE only (§6): the other two paths run
+    the native passthrough, flagged as fallback."""
+    sim, node = make_node(PolicySpec.cgroups_weight())
+    inter = node.paths[IOClass.INTERMEDIATE]
+    assert inter.scheduler.algorithm == "cgroups-weight"
+    assert not inter.fallback
+    for io_class in (IOClass.PERSISTENT, IOClass.NETWORK):
+        path = node.paths[io_class]
+        assert path.scheduler.algorithm == "native"
+        assert path.fallback
+
+
+def test_submit_routes_by_class_and_rejects_mismatch():
+    sim, node = make_node(PolicySpec.sfqd(depth=4))
+    req = IORequest(sim, IOTag("a"), "write", 1024, IOClass.INTERMEDIATE)
+    node.submit(req)
+    sim.run()
+    assert req.completion.processed
+    assert node.paths[IOClass.INTERMEDIATE].scheduler.stats.total_requests == 1
+    assert node.paths[IOClass.PERSISTENT].scheduler.stats.total_requests == 0
+    wrong = IORequest(sim, IOTag("a"), "write", 1024, IOClass.NETWORK)
+    with pytest.raises(ValueError, match="class network"):
+        node.paths[IOClass.INTERMEDIATE].submit(wrong)
+
+
+def test_broker_client_attached_only_where_supported():
+    """Coordinated spec + coordination-capable scheduler -> one broker
+    client per managed path; the cgroups fallback paths get none."""
+    sim = Simulator()
+    broker = SchedulingBroker(sim)
+    config = default_cluster(scale=1.0 / 256)
+    spec = PolicySpec.sfqd(depth=4, coordinated=True)
+    node = DataNodeIO(sim, "dn00", config, spec, broker=broker)
+    assert len(node.broker_clients) == len(IOClass)
+    for io_class in IOClass:
+        assert node.paths[io_class].broker_client is not None
+
+    sim2 = Simulator()
+    broker2 = SchedulingBroker(sim2)
+    native = DataNodeIO(
+        sim2, "dn00", config, PolicySpec.native(), broker=broker2
+    )
+    assert native.broker_clients == []
+    assert all(p.broker_client is None for p in native.paths.values())

@@ -1,0 +1,140 @@
+"""Span accounting: recorder aggregation, trace schema, manifest metric."""
+
+import io
+
+import pytest
+
+from repro.config import MB, StorageProfile, default_cluster
+from repro.core import PolicySpec, SFQDScheduler
+from repro.dataplane import (
+    CancelScope,
+    IOClass,
+    IORequest,
+    IOTag,
+    SpanRecorder,
+    percentile_summary,
+)
+from repro.scenario import Scenario, run_scenario, wc_teragen_isolation
+from repro.simcore import Simulator
+from repro.storage import StorageDevice
+from repro.telemetry import (
+    SPAN,
+    JsonLinesTraceSink,
+    Span,
+    TelemetryBus,
+    event_record,
+    validate_trace_line,
+    validate_trace_record,
+)
+
+FLAT = StorageProfile(name="flat", peak_rate=100.0 * MB, n_half=0.0)
+
+
+def span(app="a", state="completed", wait=0.5, service=1.0):
+    return Span(t=2.0, source="dn00:persistent", app_id=app, op="read",
+                nbytes=1 * MB, io_class="persistent", state=state,
+                queue_wait=wait, service=service)
+
+
+def test_percentile_summary():
+    empty = percentile_summary([])
+    assert empty == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                     "p99": 0.0}
+    s = percentile_summary([1.0, 2.0, 3.0, 4.0])
+    assert s["count"] == 4
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["p50"] == pytest.approx(2.5)
+    assert s["p95"] >= s["p50"]
+    assert s["p99"] >= s["p95"]
+
+
+def test_recorder_aggregates_by_app_and_class():
+    bus = TelemetryBus()
+    rec = SpanRecorder(bus)
+    assert bus.publishes(SPAN)  # subscribing is what enables publication
+    bus.publish(span(wait=0.1, service=1.0))
+    bus.publish(span(wait=0.3, service=2.0))
+    bus.publish(span(state="cancelled", wait=0.7, service=0.0))
+    bus.publish(span(app="b", state="failed"))
+    assert rec.records == 4
+    summary = rec.summary()
+    cell = summary["a"]["persistent"]
+    # Only completed requests contribute latency samples.
+    assert cell["queue_wait"]["count"] == 2
+    assert cell["queue_wait"]["mean"] == pytest.approx(0.2)
+    assert cell["service"]["p50"] == pytest.approx(1.5)
+    assert cell["outcomes"] == {"cancelled": 1, "completed": 2}
+    assert summary["b"]["persistent"]["outcomes"] == {"failed": 1}
+    assert summary["b"]["persistent"]["queue_wait"]["count"] == 0
+
+
+def test_span_trace_record_validates():
+    rec = event_record(span())
+    assert rec["kind"] == "span"
+    validate_trace_record(rec)
+    bad = dict(rec, state="pending")
+    with pytest.raises(ValueError, match="bad span state"):
+        validate_trace_record(bad)
+
+
+def test_scheduler_emits_spans_matching_lifecycle():
+    sim = Simulator()
+    bus = TelemetryBus()
+    rec = SpanRecorder(bus)
+    sched = SFQDScheduler(sim, StorageDevice(sim, FLAT), depth=1,
+                          name="dn00:persistent", telemetry=bus)
+    scope = CancelScope()
+    reqs = [
+        IORequest(sim, IOTag("a", 1.0).scoped(scope), "write", 4 * MB,
+                  IOClass.PERSISTENT)
+        for _ in range(3)
+    ]
+    for req in reqs:
+        sched.submit(req)
+    scope.cancel()  # withdraws the two still-queued requests
+    sim.run()
+    cell = rec.summary()["a"]["persistent"]
+    assert cell["outcomes"] == {"cancelled": 2, "completed": 1}
+    assert cell["queue_wait"]["count"] == 1
+    assert cell["queue_wait"]["p50"] == pytest.approx(reqs[0].queue_wait)
+    assert cell["service"]["p50"] == pytest.approx(reqs[0].service_time)
+
+
+def test_trace_sink_captures_span_records():
+    sim = Simulator()
+    bus = TelemetryBus()
+    buf = io.StringIO()
+    with JsonLinesTraceSink(bus, buf, kinds=[SPAN]) as sink:
+        sched = SFQDScheduler(sim, StorageDevice(sim, FLAT), depth=1,
+                              name="dn00:tmp", telemetry=bus)
+        for _ in range(2):
+            sched.submit(IORequest(sim, IOTag("a", 1.0), "write", 2 * MB,
+                                   IOClass.INTERMEDIATE))
+        sim.run()
+        assert sink.records == 2
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        rec = validate_trace_line(line)
+        assert rec["kind"] == "span"
+        assert rec["state"] == "completed"
+        assert rec["service"] > 0
+
+
+def test_latency_metric_lands_in_manifest():
+    config = default_cluster(scale=1.0 / 256)
+    s = wc_teragen_isolation(config, PolicySpec.sfqd(depth=4),
+                             name="latency-test")
+    d = s.to_dict()
+    d["measure"]["metrics"] = ["runtime", "latency"]
+    man = run_scenario(Scenario.from_dict(d))
+    latency = man.summary["latency"]
+    assert latency, "no latency cells recorded"
+    for app, classes in latency.items():
+        for io_class, cell in classes.items():
+            assert cell["queue_wait"]["count"] > 0, (app, io_class)
+            assert cell["service"]["p95"] >= cell["service"]["p50"] >= 0.0
+    # Span observation must not perturb the schedule itself.
+    base = run_scenario(s)
+    assert {r["entry"]: r["runtime"] for r in man.rows} == \
+        {r["entry"]: r["runtime"] for r in base.rows}
