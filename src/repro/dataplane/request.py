@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.dataplane.lifecycle import TRANSITIONS, LifecycleError, RequestState
+from repro.dataplane.lifecycle import LifecycleError, RequestState
 from repro.dataplane.tags import IOClass, IOTag
 from repro.simcore import Event, Simulator
 
@@ -93,7 +93,7 @@ class IORequest:
 
     # ------------------------------------------------------------ lifecycle
     def _advance(self, to: RequestState, now: float) -> None:
-        if to not in TRANSITIONS[self.state]:
+        if to not in self.state.allowed:
             raise LifecycleError(
                 f"illegal transition {self.state.value} -> {to.value} "
                 f"for {self!r} at t={now:g}"

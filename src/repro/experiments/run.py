@@ -11,6 +11,7 @@ Regenerate any figure or table of the paper from the shell::
     python -m repro.experiments.run fig6 --scale 128  # 1/128 volumes
     python -m repro.experiments.run fig8 --storage ssd
     python -m repro.experiments.run all --out results/
+    python -m repro.experiments.run fig6 --profile    # cProfile + hotspots
 
 Or run any declarative scenario file (see ``examples/scenarios/``)::
 
@@ -106,6 +107,30 @@ def _slug(name: str) -> str:
     return re.sub(r"[^\w.+-]+", "_", name).strip("_")
 
 
+def _write_profile(profiler, name: str,
+                   out_dir: pathlib.Path | None) -> None:
+    """Dump cProfile stats next to the run's outputs.
+
+    Writes ``<name>.prof`` (binary, for snakeviz/pstats) and
+    ``<name>.hotspots.txt`` (top-20 by internal and by cumulative time)
+    into ``out_dir`` — or the working directory when no ``--out`` was
+    given.
+    """
+    import io
+    import pstats
+
+    dest = out_dir if out_dir is not None else pathlib.Path.cwd()
+    dest.mkdir(parents=True, exist_ok=True)
+    prof_path = dest / f"{name}.prof"
+    profiler.dump_stats(prof_path)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("tottime").print_stats(20)
+    stats.sort_stats("cumulative").print_stats(20)
+    (dest / f"{name}.hotspots.txt").write_text(buf.getvalue())
+    print(f"(profile: {prof_path} + {name}.hotspots.txt)\n")
+
+
 def run_scenarios(args, parser) -> int:
     """``run scenario <file.json>...`` — run declarative scenario files,
     each optionally expanded into a ``--sweep`` grid."""
@@ -125,9 +150,24 @@ def run_scenarios(args, parser) -> int:
             parser.error(f"{path}: {exc}")
 
     jobs = args.jobs if args.jobs > 0 else default_jobs()
-    specs = [RunSpec.of(run_scenario, s, label=s.name) for s in scenarios]
-    with parallel_jobs(jobs):
-        manifests = run_specs(specs)
+    if args.profile:
+        # Profiling is per-process: fan-out would hide the workers'
+        # time, so the grid runs serially under one profiler each.
+        import cProfile
+
+        manifests = []
+        with parallel_jobs(1):
+            for scenario in scenarios:
+                profiler = cProfile.Profile()
+                profiler.enable()
+                manifest = run_scenario(scenario)
+                profiler.disable()
+                manifests.append(manifest)
+                _write_profile(profiler, _slug(scenario.name), args.out)
+    else:
+        specs = [RunSpec.of(run_scenario, s, label=s.name) for s in scenarios]
+        with parallel_jobs(jobs):
+            manifests = run_specs(specs)
     for manifest in manifests:
         print(format_manifest(manifest))
         print()
@@ -161,7 +201,13 @@ def main(argv: list[str] | None = None) -> int:
                              "is deterministic regardless of N")
     parser.add_argument("--out", type=pathlib.Path, default=None, metavar="DIR",
                         help="also write each result as DIR/<name>.{txt,json}")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each experiment under cProfile; writes "
+                             "<name>.prof and a top-20 <name>.hotspots.txt "
+                             "next to the results (forces --jobs 1)")
     args = parser.parse_args(argv)
+    if args.profile:
+        args.jobs = 1
 
     if args.list or not args.names:
         for name, (_fn, desc) in EXPERIMENTS.items():
@@ -198,6 +244,17 @@ def main(argv: list[str] | None = None) -> int:
             outcomes = run_specs(specs)
         for name, (result, elapsed) in zip(names, outcomes):
             _emit(name, result, elapsed, args.out)
+    elif args.profile:
+        import cProfile
+
+        with parallel_jobs(1):
+            for name in names:
+                profiler = cProfile.Profile()
+                profiler.enable()
+                result, elapsed = _timed_experiment(name, config)
+                profiler.disable()
+                _emit(name, result, elapsed, args.out)
+                _write_profile(profiler, name, args.out)
     else:
         # Serial experiment loop; with jobs > 1 the independent cluster
         # runs *inside* each figure fan out over the shared pool.

@@ -22,10 +22,13 @@ from repro.simcore.engine import (
 from repro.simcore.instrument import Counter, RateMeter, TimeSeries
 from repro.simcore.resources import Gate, Resource, Store
 from repro.simcore.rng import RngRegistry
+from repro.simcore.wheel import EventWheel, HeapEventQueue
 
 __all__ = [
     "Counter",
     "Event",
+    "EventWheel",
+    "HeapEventQueue",
     "FaultError",
     "Gate",
     "Interrupt",

@@ -18,8 +18,9 @@ IBIS cluster simulation:
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.simcore.wheel import EventWheel, HeapEventQueue, WITHDRAWN
 
 __all__ = [
     "Event",
@@ -79,6 +80,7 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled for processing, value/exception set
 _PROCESSED = 2  # callbacks have run
+_WITHDRAWN = WITHDRAWN  # queued but dead (tombstone); skipped at pop
 
 
 class Event:
@@ -192,8 +194,7 @@ class Timeout(Event):
         self._state = _TRIGGERED
         self.name = "timeout"
         self.delay = delay
-        sim._seq = seq = sim._seq + 1
-        heapq.heappush(sim._heap, (sim.now + delay, seq, self))
+        sim._queue.push(sim.now + delay, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout {self.delay:g} {'processed' if self._state >= _PROCESSED else 'triggered'}>"
@@ -264,6 +265,15 @@ class Process(Event):
             except ValueError:
                 pass
             self._target = None
+            # An abandoned Timeout with no other waiters is a tombstone:
+            # withdraw it so it never pops (and can be swept) instead of
+            # sitting in the queue until its — possibly far-future — time.
+            if (
+                type(target) is Timeout
+                and target._state == _TRIGGERED
+                and not target.callbacks
+            ):
+                self.sim._queue.withdraw(target)
         wake = Event(self.sim, name=f"interrupt:{self.name}")
         wake.callbacks.append(self._resume)
         wake.succeed()
@@ -303,7 +313,7 @@ class Process(Event):
                         return
                 # Fast path: the dominant yield is a freshly created
                 # Timeout, which is always in the TRIGGERED state.
-                if nxt.__class__ is Timeout and nxt._state != _PROCESSED:
+                if nxt.__class__ is Timeout and nxt._state == _TRIGGERED:
                     self._target = nxt
                     nxt.callbacks.append(self._resume)
                     return
@@ -315,6 +325,12 @@ class Process(Event):
                     # Already done: loop synchronously with its outcome.
                     trigger = nxt
                     continue
+                if nxt._state == _WITHDRAWN:
+                    # A withdrawn event can never fire; waiting on it
+                    # would hang the process forever.
+                    raise SimulationError(
+                        f"process {self.name} yielded withdrawn event {nxt!r}"
+                    )
                 self._target = nxt
                 nxt.callbacks.append(self._resume)
                 return
@@ -408,16 +424,19 @@ class AnyOf(Condition):
 
 
 class Simulator:
-    """The event loop: clock + heap of triggered events.
+    """The event loop: clock + bucketed event wheel of triggered events.
 
     Ordering is by ``(time, sequence)`` where ``sequence`` is a global
     monotonically increasing counter, making runs fully deterministic.
+    The queue is an :class:`~repro.simcore.wheel.EventWheel` (calendar
+    queue with lazy per-bucket sorting and tombstone compaction); pass
+    ``queue=HeapEventQueue()`` to run on the reference binary heap —
+    pop order is identical by construction.
     """
 
-    def __init__(self):
+    def __init__(self, queue: "EventWheel | HeapEventQueue | None" = None):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = 0
+        self._queue = queue if queue is not None else EventWheel()
         self._active: Optional[Process] = None
         self._defunct: list[Process] = []  # failed processes, checked in run()
         #: orphaned processes killed by an injected fault (no joiner);
@@ -426,6 +445,11 @@ class Simulator:
         #: orphaned processes killed by request cancellation (no joiner);
         #: counted rather than raised — see :class:`RequestCancelled`.
         self.cancelled_collateral = 0
+
+    @property
+    def tombstones_compacted(self) -> int:
+        """Dead (withdrawn) events removed by queue compaction sweeps."""
+        return self._queue.tombstones_compacted
 
     # -- event construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -459,19 +483,24 @@ class Simulator:
 
     # -- queue internals --------------------------------------------------
     def _push(self, delay: float, ev: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        self._queue.push(self.now + delay, ev)
+
+    def _withdraw(self, ev: Event) -> None:
+        """Tombstone a queued event the caller owns (see wheel docs)."""
+        self._queue.withdraw(ev)
 
     # -- running -------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        when, _seq, ev = heapq.heappop(self._heap)
-        self.now = when
-        ev._process()
+        entry = self._queue.pop()
+        if entry is None:
+            raise IndexError("step() on an empty event queue")
+        self.now = entry[0]
+        entry[2]._process()
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._queue.peek()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the given time, the given event triggers, or the queue
@@ -484,29 +513,65 @@ class Simulator:
         cannot pass silently.
         """
         # The loops below are the simulation's hottest code: locals are
-        # bound once and ``step``/``peek`` are inlined so each event costs
-        # one heap pop, one dispatch, and one (usually false) branch.
-        heap = self._heap
-        pop = heapq.heappop
+        # bound once, and the wheel's pop fast path — live head entry in
+        # the active slot, every pending bucket strictly later — is
+        # inlined so the common case costs an index bump instead of a
+        # method call.  The inlined condition is exactly the wheel's own
+        # fast-path guard, so falling back to ``pop()`` (which settles:
+        # skips tombstones, refills from buckets, handles slot demotion)
+        # is always correct.
+        queue = self._queue
+        pop = queue.pop
         defunct = self._defunct
+        wheel = queue if type(queue) is EventWheel else None
         if isinstance(until, Event):
             stop_ev = until
             while stop_ev._state != _PROCESSED:
-                if not heap:
-                    raise SimulationError(
-                        f"simulation ran dry before event {stop_ev!r} triggered"
-                    )
-                when, _seq, ev = pop(heap)
-                self.now = when
-                ev._process()
+                entry = None
+                if wheel is not None:
+                    cur = wheel._cur
+                    i = wheel._cur_i
+                    if i < len(cur):
+                        head = cur[i]
+                        if head[2]._state != _WITHDRAWN:
+                            slots = wheel._slots
+                            if not slots or slots[0] > wheel._cur_slot:
+                                wheel._cur_i = i + 1
+                                wheel._live -= 1
+                                entry = head
+                if entry is None:
+                    entry = pop()
+                    if entry is None:
+                        raise SimulationError(
+                            f"simulation ran dry before event {stop_ev!r} triggered"
+                        )
+                self.now = entry[0]
+                entry[2]._process()
                 if defunct:
                     self._raise_defunct(stop_ev)
             return stop_ev.value
         horizon = float("inf") if until is None else float(until)
-        while heap and heap[0][0] <= horizon:
-            when, _seq, ev = pop(heap)
-            self.now = when
-            ev._process()
+        while True:
+            entry = None
+            if wheel is not None:
+                cur = wheel._cur
+                i = wheel._cur_i
+                if i < len(cur):
+                    head = cur[i]
+                    if head[2]._state != _WITHDRAWN:
+                        slots = wheel._slots
+                        if not slots or slots[0] > wheel._cur_slot:
+                            if head[0] > horizon:
+                                break
+                            wheel._cur_i = i + 1
+                            wheel._live -= 1
+                            entry = head
+            if entry is None:
+                entry = pop(horizon)
+                if entry is None:
+                    break
+            self.now = entry[0]
+            entry[2]._process()
             if defunct:
                 self._raise_defunct(None)
         if horizon != float("inf") and horizon > self.now:

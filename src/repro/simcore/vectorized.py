@@ -1,0 +1,340 @@
+"""Vectorized storage-device bank: batched ticks across a whole cluster.
+
+The event-driven :class:`~repro.storage.device.StorageDevice` pays one
+Python dispatch per request per device — fine for the paper's nine-node
+testbed, a wall at the 1000-node scale the ROADMAP calls for.  This
+module exploits a structural fact about the device model: between
+population changes and flush-storm boundaries, the virtual work time
+``V`` advances *linearly* in wall time.  For the closed-loop workloads
+that dominate our experiments (each worker keeps exactly one request
+outstanding per window slot, so a completion immediately triggers the
+next submit), the in-flight population is a known constant ``W`` except
+for the drain tail — which means every completion time in a segment can
+be solved in closed form, for **all devices of a bank at once**, with a
+handful of numpy array operations:
+
+* ``B(n)`` concurrency curve: the aggregate rate ``rate_at(W)`` is a
+  per-device scalar, evaluated once per segment instead of per request.
+* Virtual-time advance: FCFS targets are a plain ``cumsum`` of request
+  work; PS (uniform work) targets are a ``cumsum`` over generations.
+* Flush-storm piecewise integration: a storm splits ``V(t)`` into two
+  linear pieces; the completion solve is a vectorized ``where`` over
+  the storm's remaining work capacity ``(storm_until - t) · rate · f``.
+
+The Python-level loop runs once per *storm* (and once per drain-tail
+slot), not once per request: a million-request bank costs a few hundred
+array operations.
+
+Semantics match the event-driven device for the supported workload
+shape (closed loop, per-window submits): FCFS accepts arbitrary
+per-request work, PS requires uniform work (unequal PS works complete
+out of index order, which the closed-form solve does not model — it
+raises ``ValueError`` rather than silently diverge).
+``tests/simcore/test_vectorized.py`` pins the equivalence against
+``StorageDevice`` request by request, storms included.
+
+Determinism: the solve is pure float arithmetic on deterministic
+inputs — no RNG, no dict ordering, no threading.  Results are identical
+across runs and processes by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    np = None
+
+from repro.config import StorageProfile
+
+__all__ = ["BankResult", "DeviceBank"]
+
+
+@dataclass(frozen=True)
+class BankResult:
+    """Outcome of a closed-loop bank run.
+
+    Arrays are indexed ``[device, request]`` with requests in submission
+    order (which, for the supported disciplines, is also completion
+    order).
+    """
+
+    submit_times: "np.ndarray"      # (M, K) wall-clock submit per request
+    completion_times: "np.ndarray"  # (M, K) wall-clock completion per request
+    storms: int                     # flush storms triggered per device
+    workers: int                    # closed-loop window W
+
+    @property
+    def n_devices(self) -> int:
+        return self.completion_times.shape[0]
+
+    @property
+    def n_requests(self) -> int:
+        """Requests *per device*."""
+        return self.completion_times.shape[1]
+
+    @property
+    def makespan(self) -> "np.ndarray":
+        """Per-device wall-clock time to drain the whole workload."""
+        return self.completion_times[:, -1]
+
+    @property
+    def latencies(self) -> "np.ndarray":
+        return self.completion_times - self.submit_times
+
+    @property
+    def total_requests(self) -> int:
+        return self.completion_times.size
+
+
+class DeviceBank:
+    """A bank of identical-profile storage devices ticked together.
+
+    ``rate_factor`` mirrors ``StorageDevice.set_rate_factor`` (fail-slow
+    devices) but as a per-device *vector*, so a heterogeneously degraded
+    fleet still runs in one batch: degradation changes completion
+    *times*, never the byte-driven storm *indices*, which is what keeps
+    the devices batchable.
+    """
+
+    def __init__(
+        self,
+        profile: StorageProfile,
+        n_devices: int,
+        rate_factor: "float | Sequence[float]" = 1.0,
+    ):
+        if np is None:
+            raise RuntimeError(
+                "DeviceBank requires numpy; install it or use the "
+                "event-driven StorageDevice"
+            )
+        if n_devices <= 0:
+            raise ValueError(f"n_devices must be positive, got {n_devices}")
+        self.profile = profile
+        self.n_devices = n_devices
+        self._fcfs = profile.discipline == "fcfs"
+        factor = np.broadcast_to(
+            np.asarray(rate_factor, dtype=np.float64), (n_devices,)
+        ).copy()
+        if np.any(factor <= 0):
+            raise ValueError("rate factors must be > 0")
+        self.rate_factor = factor
+
+    # ------------------------------------------------------------------ api
+    def run_closed_loop(
+        self,
+        n_requests: int,
+        nbytes: "float | Sequence[float]",
+        is_write: "Optional[Sequence[bool]]" = None,
+        workers: int = 8,
+    ) -> BankResult:
+        """Simulate ``workers`` closed-loop submitters per device.
+
+        Request ``k`` is submitted the instant request ``k - workers``
+        completes (the first ``workers`` requests all at t=0) — exactly
+        the shape produced by per-stream windowed pipelining in the
+        dataplane.  ``nbytes`` and ``is_write`` are shared across
+        devices (length ``n_requests`` or scalars); per-device
+        heterogeneity enters through ``rate_factor``.
+        """
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if n_requests <= 0:
+            raise ValueError(f"n_requests must be positive, got {n_requests}")
+        K, W = int(n_requests), int(workers)
+        prof = self.profile
+        sizes = np.broadcast_to(
+            np.asarray(nbytes, dtype=np.float64), (K,)
+        ).copy()
+        if np.any(sizes <= 0):
+            raise ValueError("nbytes must be positive")
+        if is_write is None:
+            wflag = np.zeros(K, dtype=bool)
+        else:
+            wflag = np.broadcast_to(np.asarray(is_write, dtype=bool), (K,)).copy()
+
+        works = np.where(wflag, prof.write_cost, prof.read_cost) * sizes
+        works += prof.request_overhead
+
+        if not self._fcfs:
+            if K % W:
+                raise ValueError(
+                    f"ps closed loop needs n_requests divisible by workers "
+                    f"({K} % {W})"
+                )
+            if np.ptp(works) != 0.0:
+                raise ValueError(
+                    "ps discipline supports uniform request work only: "
+                    "unequal works complete out of index order"
+                )
+            return self._run_ps(works, sizes, wflag, K, W)
+        return self._run_fcfs(works, sizes, wflag, K, W)
+
+    # ------------------------------------------------------------ internals
+    def _storm_schedule(self, write_bytes: "np.ndarray"):
+        """Submit indices at which a flush storm starts.
+
+        The event-driven device decrements its write counter by exactly
+        one threshold per triggering write, so as long as every single
+        write is smaller than the threshold (asserted — true for any
+        sane chunking), storm count after submit ``k`` is
+        ``floor(cum_writes[k] / threshold)``.
+        """
+        threshold = self.profile.flush_threshold
+        if threshold <= 0:
+            return np.empty(0, dtype=np.int64)
+        if float(write_bytes.max(initial=0.0)) >= threshold:
+            raise ValueError(
+                "storm accounting requires each write < flush_threshold"
+            )
+        crossings = np.floor_divide(np.cumsum(write_bytes), threshold)
+        return np.flatnonzero(np.diff(crossings, prepend=0.0) > 0)
+
+    @staticmethod
+    def _solve(T, t, V, u, rate, storm_rate):
+        """Wall-clock times at which ``V`` reaches each target in ``T``.
+
+        ``V`` advances from time ``t`` at ``storm_rate`` until the storm
+        end ``u`` (if ``u > t``), then at ``rate`` — the same two-piece
+        integration as ``StorageDevice._advance``.  ``T`` is (k,) shared
+        across devices; ``t, V, u, rate, storm_rate`` are (M,).
+        """
+        rel = T[None, :] - V[:, None]              # work left per completion
+        storm_left = np.maximum(u - t, 0.0)        # seconds of storm left
+        if not storm_left.any():
+            return t[:, None] + rel / rate[:, None]
+        cap = storm_left * storm_rate              # work the storm can pass
+        in_storm = rel <= cap[:, None]
+        t_in = t[:, None] + rel / storm_rate[:, None]
+        t_out = np.maximum(u, t)[:, None] + (rel - cap[:, None]) / rate[:, None]
+        return np.where(in_storm, t_in, t_out)
+
+    def _run_fcfs(self, works, sizes, wflag, K, W):
+        prof = self.profile
+        M = self.n_devices
+        ff = prof.flush_factor
+        T = np.cumsum(works)                       # (K,) virtual targets
+        write_bytes = np.where(wflag, sizes, 0.0)
+        storm_at = self._storm_schedule(write_bytes)
+
+        comp = np.empty((M, K), dtype=np.float64)
+        t = np.zeros(M)        # wall clock at last solved completion
+        V = np.zeros(M)        # virtual work time at ``t``
+        u = np.zeros(M)        # storm end (storm_until)
+        rate = prof.rate_at(W) * self.rate_factor  # steady-state aggregate
+        storm_rate = rate * ff
+        duration = prof.flush_duration
+
+        tail_start = max(K - W, 0)                 # completions past the loop
+        prev = 0
+        # One Python iteration per *storm*: solve the whole segment of
+        # completions before the triggering submit in one vector op,
+        # then fold the storm into (u).
+        for s in storm_at.tolist():
+            # Submits end before the tail does (submit K-1 triggers at
+            # completion K-1-W), so every storm start lands in the main
+            # phase; only its *effect* can extend into the tail, which
+            # the tail solve honors through (u).
+            stop = min(max(s - W + 1, 0), tail_start)
+            if stop > prev:
+                comp[:, prev:stop] = self._solve(
+                    T[prev:stop], t, V, u, rate, storm_rate
+                )
+                t = comp[:, stop - 1].copy()
+                V[:] = T[stop - 1]
+                prev = stop
+            t_s = comp[:, s - W] if s >= W else np.zeros(M)
+            u = np.maximum(u, t_s) + duration
+        if tail_start > prev:
+            comp[:, prev:tail_start] = self._solve(
+                T[prev:tail_start], t, V, u, rate, storm_rate
+            )
+            t = comp[:, tail_start - 1].copy()
+            V[:] = T[tail_start - 1]
+            prev = tail_start
+
+        # Drain tail: no submits remain, so the population shrinks by
+        # one per completion and the B(n) curve re-evaluates each step.
+        for j in range(prev, K):
+            n = K - j
+            rate_n = prof.rate_at(n) * self.rate_factor
+            comp[:, j] = self._solve(
+                T[j : j + 1], t, V, u, rate_n, rate_n * ff
+            )[:, 0]
+            t = comp[:, j].copy()
+            V[:] = T[j]
+
+        submit = np.zeros((M, K), dtype=np.float64)
+        if K > W:
+            submit[:, W:] = comp[:, : K - W]
+        return BankResult(
+            submit_times=submit,
+            completion_times=comp,
+            storms=int(storm_at.size),
+            workers=W,
+        )
+
+    def _run_ps(self, works, sizes, wflag, K, W):
+        """Processor sharing with uniform work: the ``W`` in-flight
+        requests advance in lockstep and complete a *generation* at a
+        time, so the solve collapses to ``K / W`` generation targets."""
+        prof = self.profile
+        M = self.n_devices
+        ff = prof.flush_factor
+        G = K // W
+        gen_work = works[0] * 1.0                  # uniform by validation
+        T = np.cumsum(np.full(G, gen_work))        # per-request PS targets
+        # Storms: generation g is submitted at the completion instant of
+        # generation g-1 (gen 0 at t=0); all W of its writes land at that
+        # instant, each able to trigger at most one storm.
+        threshold = prof.flush_threshold
+        write_bytes = np.where(wflag, sizes, 0.0)
+        if threshold > 0:
+            if float(write_bytes.max(initial=0.0)) >= threshold:
+                raise ValueError(
+                    "storm accounting requires each write < flush_threshold"
+                )
+            crossings = np.floor_divide(np.cumsum(write_bytes), threshold)
+            per_gen = np.diff(
+                np.concatenate([[0.0], crossings[W - 1 :: W]])
+            ).astype(np.int64)
+        else:
+            per_gen = np.zeros(G, dtype=np.int64)
+
+        gen_comp = np.empty((M, G), dtype=np.float64)
+        t = np.zeros(M)
+        V = np.zeros(M)
+        u = np.zeros(M)
+        rate = prof.rate_at(W) * self.rate_factor / W  # per-flow share
+        storm_rate = rate * ff
+        duration = prof.flush_duration
+
+        stormy = np.flatnonzero(per_gen)
+        prev = 0
+        for g in stormy.tolist():
+            # Storms of generation g start at its *submit* (completion
+            # of g-1), so completions prev..g-1 use the current state.
+            if g > prev:
+                gen_comp[:, prev:g] = self._solve(
+                    T[prev:g], t, V, u, rate, storm_rate
+                )
+                t = gen_comp[:, g - 1].copy()
+                V[:] = T[g - 1]
+                prev = g
+            t_s = gen_comp[:, g - 1] if g >= 1 else np.zeros(M)
+            u = np.maximum(u, t_s) + per_gen[g] * duration
+        if G > prev:
+            gen_comp[:, prev:] = self._solve(T[prev:], t, V, u, rate, storm_rate)
+
+        comp = np.repeat(gen_comp, W, axis=1)
+        submit = np.zeros((M, K), dtype=np.float64)
+        submit[:, W:] = comp[:, : K - W]
+        return BankResult(
+            submit_times=submit,
+            completion_times=comp,
+            storms=int(per_gen.sum()),
+            workers=W,
+        )

@@ -33,12 +33,13 @@ the foreground page-cache flushes visible as latency spikes in Fig. 7.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Optional
 
 from repro.config import StorageProfile
 from repro.simcore import Event, RateMeter, Simulator
+from repro.simcore.engine import _TRIGGERED
 from repro.telemetry import FLUSH_SPIKE, FlushSpike, TelemetryBus
 
 __all__ = ["IOCompletion", "StorageDevice"]
@@ -90,6 +91,21 @@ class StorageDevice:
         self._last_target = 0.0       # fcfs: cumulative work target tail
         self._fcfs = profile.discipline == "fcfs"
 
+        # Hot-path caches: the precomputed per-profile rate tables (see
+        # StorageProfile.__post_init__) and per-op work costs, bound once
+        # so the dispatch loop does tuple indexing instead of attribute
+        # chains and float arithmetic.  The LUTs encode rate_factor == 1.0;
+        # fault-degraded devices take the original arithmetic path.
+        self._rate_lut = profile.rate_lut
+        self._progress_lut = profile.rate_lut if self._fcfs else profile.ps_rate_lut
+        self._progress_storm_lut = (
+            profile.storm_rate_lut if self._fcfs else profile.ps_storm_lut
+        )
+        self._lut_depth = profile.LUT_DEPTH
+        self._op_cost = profile.op_cost
+        self._request_overhead = profile.request_overhead
+        self._flush_factor = profile.flush_factor
+
         self._storm_until = 0.0
         self._written_since_flush = 0.0
 
@@ -100,9 +116,14 @@ class StorageDevice:
         self._failed: Optional[BaseException] = None
 
         # Completion-tick dispatch: every submit/complete reschedules the
-        # next tick, so tick events are pooled and reused instead of
-        # allocated per dispatch, and I/O event names are precomputed.
+        # next tick.  The superseded tick is withdrawn from the event
+        # queue (tombstoned) so it never dispatches; the tick that fires
+        # returns its event object to a small pool in :meth:`_on_tick`,
+        # so steady-state dispatch allocates at most one event per
+        # reschedule.  I/O event names are precomputed.
         self._tick_pool: list[Event] = []
+        self._live_tick: Optional[Event] = None
+        self._withdraw_tick = sim._queue.withdraw  # bound, hot path
         self._io_name = {"read": f"io:{name}:read", "write": f"io:{name}:write"}
 
         # Instrumentation (per-request latencies travel as telemetry: the
@@ -131,8 +152,7 @@ class StorageDevice:
         self._advance()
         ev = Event(self.sim, name=self._io_name[op])
         entry = _Active(op, int(nbytes), self.sim.now, ev)
-        cost = self.profile.read_cost if op == "read" else self.profile.write_cost
-        work = nbytes * cost + self.profile.request_overhead
+        work = nbytes * self._op_cost[op] + self._request_overhead
         if self._fcfs:
             # Serial service: this request completes after all work ahead.
             self._last_target = max(self._last_target, self._v) + work
@@ -140,7 +160,7 @@ class StorageDevice:
         else:
             entry.target_v = self._v + work
         self._seq += 1
-        heapq.heappush(self._heap, (entry.target_v, self._seq, entry))
+        heappush(self._heap, (entry.target_v, self._seq, entry))
         if op == "write":
             self._note_write(nbytes)
         self._reschedule()
@@ -149,6 +169,13 @@ class StorageDevice:
     def current_rate(self) -> float:
         """Aggregate service rate right now (work units / second)."""
         n = len(self._heap)
+        if self._rate_factor == 1.0 and n <= self._lut_depth:
+            # x * 1.0 is exact, so the LUT entries (which fold the
+            # storm factor in the historical association) match the
+            # arithmetic below bit for bit.
+            if self.sim.now < self._storm_until:
+                return self.profile.storm_rate_lut[n]
+            return self._rate_lut[n]
         rate = self.profile.rate_at(n) * self._rate_factor
         if self.sim.now < self._storm_until:
             rate *= self.profile.flush_factor
@@ -184,6 +211,10 @@ class StorageDevice:
         self._advance()
         self._failed = exc
         self._gen += 1          # cancel the live completion tick
+        tick = self._live_tick
+        if tick is not None and tick._state == _TRIGGERED:
+            self.sim._withdraw(tick)
+        self._live_tick = None
         dropped, self._heap = self._heap, []
         # FCFS tail restarts from the current progress point on repair.
         self._last_target = self._v
@@ -201,6 +232,10 @@ class StorageDevice:
         n = len(self._heap)
         if n == 0:
             return 0.0
+        if self._rate_factor == 1.0 and n <= self._lut_depth:
+            if self.sim.now < self._storm_until:
+                return self._progress_storm_lut[n]
+            return self._progress_lut[n]
         rate = self.current_rate()
         return rate if self._fcfs else rate / n
 
@@ -216,13 +251,16 @@ class StorageDevice:
         if now > t:
             n = len(self._heap)
             if n > 0:
-                base = self.profile.rate_at(n) * self._rate_factor
-                if not self._fcfs:
-                    base /= n
+                if self._rate_factor == 1.0 and n <= self._lut_depth:
+                    base = self._progress_lut[n]
+                else:
+                    base = self.profile.rate_at(n) * self._rate_factor
+                    if not self._fcfs:
+                        base /= n
                 storm_end = self._storm_until
                 if t < storm_end:
                     seg_end = min(now, storm_end)
-                    self._v += (seg_end - t) * base * self.profile.flush_factor
+                    self._v += (seg_end - t) * base * self._flush_factor
                     t = seg_end
                 if now > t:
                     self._v += (now - t) * base
@@ -231,18 +269,33 @@ class StorageDevice:
     def _reschedule(self) -> None:
         """(Re)schedule the next completion tick.
 
-        Tick events come from a small pool: a superseded tick returns its
-        event object in :meth:`_on_tick`, so steady-state dispatch does no
-        event allocation at all (the generation token rides in the event's
-        value slot).
+        The previously scheduled tick — if it has not fired yet — is
+        withdrawn from the event queue (tombstoned in place), so
+        superseded ticks never dispatch at all.  The tick that does fire
+        returns its event object to a small pool in :meth:`_on_tick`.
+        The generation token rides in the event's value slot as a second
+        line of defense against a stale dispatch.
         """
         self._gen += 1
-        if not self._heap:
+        old = self._live_tick
+        if old is not None and old._state == _TRIGGERED:
+            # Still queued and not fired: dead on arrival — tombstone it.
+            self._withdraw_tick(old)
+        self._live_tick = None
+        heap = self._heap
+        if not heap:
             return
-        rate = self._progress_rate()
+        n = len(heap)
+        if self._rate_factor == 1.0 and n <= self._lut_depth:
+            if self.sim.now < self._storm_until:
+                rate = self._progress_storm_lut[n]
+            else:
+                rate = self._progress_lut[n]
+        else:
+            rate = self._progress_rate()
         if rate <= 0:
             raise RuntimeError(f"device {self.name}: zero rate with work queued")
-        target_v = self._heap[0][0]
+        target_v = heap[0][0]
         dt = (target_v - self._v) / rate
         if dt < 0.0:
             dt = 0.0
@@ -254,6 +307,7 @@ class StorageDevice:
             ev = Event(self.sim, name="tick")
             ev._retrigger(self._gen)
         ev.callbacks.append(self._on_tick)
+        self._live_tick = ev
         self.sim._push(dt, ev)
 
     def _on_tick(self, tick: Event) -> None:
@@ -267,16 +321,21 @@ class StorageDevice:
         self._advance()
         # The tick was scheduled to land exactly on the heap-head target;
         # snap V there so float rounding cannot strand the completion.
-        self._v = max(self._v, self._scheduled_target)
+        if self._v < self._scheduled_target:
+            self._v = self._scheduled_target
         now = self.sim.now
-        while self._heap and self._heap[0][0] <= self._v + _EPS:
-            _tv, _seq, entry = heapq.heappop(self._heap)
+        heap = self._heap
+        cutoff = self._v + _EPS
+        n_done = 0
+        while heap and heap[0][0] <= cutoff:
+            _tv, _seq, entry = heappop(heap)
             latency = now - entry.submit_time
             done = IOCompletion(entry.op, entry.nbytes, latency)
             meter = self.read_meter if entry.op == "read" else self.write_meter
             meter.add(now, entry.nbytes)
-            self.completed_requests += 1
+            n_done += 1
             entry.event.succeed(done)
+        self.completed_requests += n_done
         self._reschedule()
 
     def _note_write(self, nbytes: int) -> None:

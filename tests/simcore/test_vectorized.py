@@ -1,0 +1,176 @@
+"""DeviceBank vs the event-driven StorageDevice, request by request.
+
+The vectorized bank claims to reproduce the device model's closed-loop
+behavior — B(n) curve, FCFS/PS virtual time, flush storms, drain tail —
+in closed form.  These tests drive the *actual* engine device with the
+same closed-loop workload and compare completion times one-to-one.
+"""
+
+import itertools
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from dataclasses import replace
+
+from repro.config import HDD_PROFILE, MB, SSD_PROFILE, StorageProfile
+from repro.simcore import Simulator
+from repro.simcore.vectorized import DeviceBank
+from repro.storage.device import StorageDevice
+
+
+def drive_engine(profile, n_requests, workers, nbytes, is_write, rate_factor=1.0):
+    """Closed-loop engine run: request k submitted when k-workers completes."""
+    sim = Simulator()
+    dev = StorageDevice(sim, profile)
+    if rate_factor != 1.0:
+        dev.set_rate_factor(rate_factor)
+    submit = [0.0] * n_requests
+    comp = [0.0] * n_requests
+    counter = itertools.count()
+
+    def worker():
+        while True:
+            k = next(counter)
+            if k >= n_requests:
+                return
+            submit[k] = sim.now
+            ev = dev.submit("write" if is_write[k] else "read", nbytes)
+            yield ev
+            comp[k] = sim.now
+
+    procs = [sim.process(worker(), name=f"w{i}") for i in range(workers)]
+    sim.run(until=sim.all_of(procs))
+    return np.asarray(submit), np.asarray(comp)
+
+
+def assert_matches_engine(profile, n_requests, workers, nbytes, is_write,
+                          rate_factor=1.0):
+    submit, comp = drive_engine(
+        profile, n_requests, workers, nbytes, is_write, rate_factor
+    )
+    bank = DeviceBank(profile, n_devices=1, rate_factor=rate_factor)
+    res = bank.run_closed_loop(
+        n_requests, nbytes, is_write=is_write, workers=workers
+    )
+    np.testing.assert_allclose(res.submit_times[0], submit, rtol=1e-9, atol=1e-6)
+    np.testing.assert_allclose(res.completion_times[0], comp, rtol=1e-9, atol=1e-6)
+
+
+WRITE_HALF = lambda K, W: [(k // W) % 2 == 0 for k in range(K)]  # noqa: E731
+
+
+class TestFcfsEquivalence:
+    def test_reads_only_no_storms(self):
+        assert_matches_engine(
+            SSD_PROFILE, 96, 8, 1 * MB, [False] * 96
+        )
+
+    def test_mixed_ops_write_cost(self):
+        # SSD write asymmetry: write work = 3x read work.
+        assert_matches_engine(SSD_PROFILE, 96, 8, 1 * MB, WRITE_HALF(96, 8))
+
+    def test_flush_storms(self):
+        # Shrunk threshold so a few hundred requests cross it repeatedly.
+        prof = replace(HDD_PROFILE, flush_threshold=24 * MB)
+        is_write = WRITE_HALF(320, 8)
+        assert_matches_engine(prof, 320, 8, 1 * MB, is_write)
+        bank = DeviceBank(prof, n_devices=1)
+        res = bank.run_closed_loop(320, 1 * MB, is_write=is_write, workers=8)
+        assert res.storms > 0
+
+    def test_all_writes_back_to_back_storms(self):
+        prof = replace(HDD_PROFILE, flush_threshold=16 * MB, flush_duration=2.0)
+        assert_matches_engine(prof, 200, 4, 1 * MB, [True] * 200)
+
+    def test_drain_tail_uses_bn_curve(self):
+        # K barely above W: almost the whole run is the shrinking tail.
+        assert_matches_engine(HDD_PROFILE, 12, 8, 4 * MB, [False] * 12)
+
+    def test_fewer_requests_than_workers(self):
+        assert_matches_engine(HDD_PROFILE, 5, 8, 4 * MB, [False] * 5)
+
+    def test_single_worker(self):
+        assert_matches_engine(HDD_PROFILE, 40, 1, 4 * MB, WRITE_HALF(40, 1))
+
+    def test_fail_slow_rate_factor(self):
+        assert_matches_engine(
+            HDD_PROFILE, 64, 8, 4 * MB, [False] * 64, rate_factor=0.35
+        )
+
+    def test_rate_factor_vector_batches_degraded_fleet(self):
+        prof = SSD_PROFILE
+        factors = [1.0, 0.5, 0.25]
+        bank = DeviceBank(prof, n_devices=3, rate_factor=factors)
+        res = bank.run_closed_loop(96, 1 * MB, workers=8)
+        for row, f in enumerate(factors):
+            _, comp = drive_engine(prof, 96, 8, 1 * MB, [False] * 96, f)
+            np.testing.assert_allclose(
+                res.completion_times[row], comp, rtol=1e-9, atol=1e-6
+            )
+
+    def test_many_devices_share_one_solve(self):
+        bank = DeviceBank(HDD_PROFILE, n_devices=64)
+        res = bank.run_closed_loop(160, 4 * MB, workers=8)
+        assert res.completion_times.shape == (64, 160)
+        # Identical devices, identical workload: rows are identical.
+        assert np.all(res.completion_times == res.completion_times[0])
+        assert res.total_requests == 64 * 160
+
+
+class TestPsEquivalence:
+    def test_uniform_reads(self):
+        prof = replace(SSD_PROFILE, discipline="ps", request_overhead=0.0)
+        assert_matches_engine(prof, 96, 8, 1 * MB, [False] * 96)
+
+    def test_uniform_writes_with_storms(self):
+        prof = replace(
+            HDD_PROFILE,
+            discipline="ps",
+            flush_threshold=24 * MB,
+            request_overhead=0.0,
+        )
+        assert_matches_engine(prof, 160, 8, 1 * MB, [True] * 160)
+
+    def test_mixed_ops_equal_cost_allowed(self):
+        # read_cost == write_cost: works are uniform even with mixed ops.
+        prof = replace(HDD_PROFILE, discipline="ps", flush_threshold=40 * MB)
+        assert_matches_engine(prof, 160, 8, 1 * MB, WRITE_HALF(160, 8))
+
+    def test_unequal_work_rejected(self):
+        prof = replace(SSD_PROFILE, discipline="ps")  # write_cost = 3
+        bank = DeviceBank(prof, n_devices=1)
+        with pytest.raises(ValueError, match="uniform"):
+            bank.run_closed_loop(
+                96, 1 * MB, is_write=WRITE_HALF(96, 8), workers=8
+            )
+
+    def test_indivisible_rejected(self):
+        prof = replace(SSD_PROFILE, discipline="ps")
+        bank = DeviceBank(prof, n_devices=1)
+        with pytest.raises(ValueError, match="divisible"):
+            bank.run_closed_loop(97, 1 * MB, workers=8)
+
+
+class TestValidation:
+    def test_write_larger_than_threshold_rejected(self):
+        prof = replace(HDD_PROFILE, flush_threshold=2 * MB)
+        bank = DeviceBank(prof, n_devices=1)
+        with pytest.raises(ValueError, match="flush_threshold"):
+            bank.run_closed_loop(
+                16, 4 * MB, is_write=[True] * 16, workers=4
+            )
+
+    def test_bad_rate_factor(self):
+        with pytest.raises(ValueError, match="rate factor"):
+            DeviceBank(HDD_PROFILE, n_devices=2, rate_factor=[1.0, 0.0])
+
+    def test_result_accessors(self):
+        bank = DeviceBank(SSD_PROFILE, n_devices=2)
+        res = bank.run_closed_loop(24, 1 * MB, workers=8)
+        assert res.n_devices == 2
+        assert res.n_requests == 24
+        assert res.workers == 8
+        assert res.makespan.shape == (2,)
+        assert np.all(res.latencies >= 0)
