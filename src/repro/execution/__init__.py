@@ -1,0 +1,48 @@
+"""The execution core: one submission → execute → result pipeline.
+
+Everything that runs a scenario — the figure functions, the
+``run scenario`` CLI (serial, ``--jobs N``, ``--sweep`` grids), and the
+long-running scenario service (:mod:`repro.service`) — routes through
+:class:`ExecutionCore`:
+
+* :class:`~repro.execution.submission.Submission` — a scenario plus run
+  options, identified by the scenario's ``content_hash``;
+* :class:`~repro.execution.store.ResultStore` — persistent manifests
+  keyed by content hash under ``$REPRO_CACHE_DIR``; repeated
+  submissions are cache hits and interrupted sweeps resume;
+* :mod:`~repro.execution.pool` — the shared process-pool backend with
+  the by-spec-order determinism guarantee.
+
+See DESIGN.md ("Execution core & scenario service").
+"""
+
+from repro.execution.atomic import atomic_write_json
+from repro.execution.core import ExecutionCore, execute_scenarios
+from repro.execution.pool import (
+    RunSpec,
+    active_jobs,
+    default_jobs,
+    execute,
+    parallel_jobs,
+    run_specs,
+)
+from repro.execution.store import RESULT_SCHEMA, ResultStore, ResultStoreError
+from repro.execution.submission import Submission, as_submission, cluster_key
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "ExecutionCore",
+    "ResultStore",
+    "ResultStoreError",
+    "RunSpec",
+    "Submission",
+    "active_jobs",
+    "as_submission",
+    "atomic_write_json",
+    "cluster_key",
+    "default_jobs",
+    "execute",
+    "execute_scenarios",
+    "parallel_jobs",
+    "run_specs",
+]

@@ -1,0 +1,46 @@
+"""Crash- and concurrency-safe JSON writes.
+
+Both persistent caches in this repo — the calibration cache
+(:mod:`repro.experiments.harness`) and the result store
+(:mod:`repro.execution.store`) — are shared between concurrent worker
+processes.  A reader must never observe a torn file, so every write
+goes through :func:`atomic_write_json`: the payload is serialised into
+a unique temp file in the destination directory and published with
+``os.replace`` (atomic on POSIX within one filesystem).  Concurrent
+writers race benignly — last rename wins, every observable state is a
+complete document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_json"]
+
+
+def atomic_write_json(path: "pathlib.Path | str", payload: Any) -> None:
+    """Serialise ``payload`` to ``path`` atomically (temp file + rename).
+
+    Creates parent directories as needed.  On any failure the temp file
+    is removed, so a crashed writer leaves no debris a reader could
+    mistake for an entry.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

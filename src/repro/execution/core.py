@@ -1,0 +1,107 @@
+"""The one execution core every run path routes through.
+
+``ExecutionCore.run`` takes an ordered batch of submissions (bare
+scenarios coerce) and returns their manifests **in submission order**:
+
+1. cacheable submissions are looked up in the optional persistent
+   :class:`~repro.execution.store.ResultStore` (and deduplicated within
+   the batch — the same content hash executes at most once);
+2. the misses fan out over the shared worker pool
+   (:func:`~repro.execution.pool.run_specs`, activated by
+   :func:`~repro.execution.pool.parallel_jobs`);
+3. fresh manifests are persisted before the batch returns, so an
+   interrupted sweep grid resumes with only its missing cells.
+
+Figures, the ``run scenario`` CLI (``--jobs N`` and ``--sweep`` grids),
+and the scenario service all call exactly this method; there is no
+other dispatch path.  Without a store the core degrades to the plain
+deterministic fan-out, byte-identical to running
+:func:`~repro.scenario.runner.run_scenario` in a loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.execution.pool import RunSpec, run_specs
+from repro.execution.store import ResultStore
+from repro.execution.submission import Submission, as_submission
+from repro.scenario.runner import RunManifest, run_scenario
+from repro.scenario.spec import Scenario
+
+__all__ = ["ExecutionCore", "execute_scenarios"]
+
+
+class ExecutionCore:
+    """Submission → (store | worker pool) → manifest, in order."""
+
+    def __init__(self, store: Optional[ResultStore] = None):
+        self.store = store
+        #: batch-level counters (store-level hit/miss live on the store)
+        self.cache_hits = 0
+        self.executed = 0
+
+    # ---------------------------------------------------------------- run
+    def run(
+        self, submissions: Sequence[Union[Submission, Scenario]]
+    ) -> list[RunManifest]:
+        """Run a batch; manifests come back in submission order.
+
+        A submission whose ``trace_path`` is a live stream (not a path)
+        is not picklable and therefore runs in-process even under an
+        active pool — pass paths when fanning traced runs out.
+        """
+        subs = [as_submission(s) for s in submissions]
+        manifests: list[Optional[RunManifest]] = [None] * len(subs)
+
+        # Store lookups + within-batch dedup (only with a store: the
+        # bare fan-out keeps strict one-run-per-submission semantics).
+        pending: list[int] = []
+        first_of: dict[str, int] = {}
+        aliases: list[tuple[int, int]] = []
+        for i, sub in enumerate(subs):
+            if self.store is not None and sub.cacheable:
+                key = sub.content_hash
+                prior = first_of.get(key)
+                if prior is not None:
+                    aliases.append((i, prior))
+                    self.cache_hits += 1
+                    continue
+                hit = self.store.get(key)
+                if hit is not None:
+                    manifests[i] = hit
+                    self.cache_hits += 1
+                    continue
+                first_of[key] = i
+            pending.append(i)
+
+        specs = []
+        for i in pending:
+            sub = subs[i]
+            kwargs = {}
+            if sub.trace_path is not None:
+                kwargs["trace_path"] = sub.trace_path
+            specs.append(
+                RunSpec.of(run_scenario, sub.scenario, label=sub.label,
+                           **kwargs)
+            )
+        for i, manifest in zip(pending, run_specs(specs)):
+            manifests[i] = manifest
+            self.executed += 1
+            if self.store is not None and subs[i].cacheable:
+                self.store.put(manifest)
+        for i, src in aliases:
+            manifests[i] = manifests[src]
+        return manifests  # type: ignore[return-value]
+
+    def submit(self, submission: Union[Submission, Scenario]) -> RunManifest:
+        """Run one submission (the service's per-message entry point)."""
+        return self.run([submission])[0]
+
+
+def execute_scenarios(
+    scenarios: Sequence[Union[Submission, Scenario]],
+    store: Optional[ResultStore] = None,
+) -> list[RunManifest]:
+    """One-shot convenience: a throwaway core over an optional store."""
+    return ExecutionCore(store=store).run(scenarios)

@@ -1,0 +1,126 @@
+"""Persistent, content-hash-keyed store of run manifests.
+
+One entry per scenario :meth:`~repro.scenario.spec.Scenario.content_hash`,
+written once under ``$REPRO_CACHE_DIR`` (the same root the calibration
+cache resolves — see
+:func:`~repro.experiments.harness.calibration_cache_dir`).  Because a
+scenario's manifest is deterministic (``metrics_hash`` covers every
+deterministic field), a stored entry *is* the run: repeated submissions
+are cache hits, and an interrupted ``--sweep`` grid resumes by
+re-running only the cells with no entry.
+
+Entries carry a schema version.  Bump :data:`RESULT_SCHEMA` whenever a
+modelling change alters what a content hash produces — old entries then
+fail loudly (:class:`ResultStoreError`) instead of serving stale
+results.  Writes are atomic (:func:`~repro.execution.atomic.atomic_write_json`),
+so concurrent workers never tear an entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterator, Optional
+
+from repro.execution.atomic import atomic_write_json
+from repro.scenario.runner import RunManifest
+
+__all__ = ["RESULT_SCHEMA", "ResultStore", "ResultStoreError"]
+
+#: Entry format version.  Bump on modelling changes that alter the
+#: manifest a given scenario content hash produces.
+RESULT_SCHEMA = 1
+
+
+class ResultStoreError(RuntimeError):
+    """A store entry exists but cannot be used by this build."""
+
+
+class ResultStore:
+    """Filesystem-backed manifest store, one JSON entry per content hash.
+
+    ``get``/``put`` are the whole interface the execution core needs;
+    ``hits``/``misses`` count this process's lookups (the service's
+    ``stats`` op reports them).
+    """
+
+    def __init__(self, root: "pathlib.Path | str"):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultStore":
+        """The store under the shared cache root (``$REPRO_CACHE_DIR``,
+        ``$IBIS_CACHE_DIR``, or ``~/.cache/ibis-repro``)."""
+        from repro.experiments.harness import calibration_cache_dir
+
+        return cls(calibration_cache_dir() / "results")
+
+    # ------------------------------------------------------------- layout
+    def path_for(self, content_hash: str) -> pathlib.Path:
+        return self.root / f"run-{content_hash}.json"
+
+    def keys(self) -> Iterator[str]:
+        """Content hashes with a stored entry."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("run-*.json")):
+            yield path.stem[len("run-"):]
+
+    def __contains__(self, content_hash: str) -> bool:
+        return self.path_for(content_hash).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------- access
+    def get(self, content_hash: str) -> Optional[RunManifest]:
+        """The stored manifest, or ``None`` on a miss.
+
+        A corrupt entry (unreadable, not JSON) counts as a miss — the
+        run re-executes and overwrites it.  An entry with an *unknown
+        schema version* raises :class:`ResultStoreError` instead: the
+        data is intact but this build must not interpret it.
+        """
+        path = self.path_for(content_hash)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) or data.get("schema") != RESULT_SCHEMA:
+            schema = data.get("schema") if isinstance(data, dict) else None
+            keys = sorted(data) if isinstance(data, dict) else []
+            raise ResultStoreError(
+                f"result-store entry {path} has schema version {schema!r} "
+                f"but this build reads version {RESULT_SCHEMA}; entry keys: "
+                f"{keys or '(not an object)'} — delete the entry (or the "
+                f"store directory {self.root}) to re-run the scenario"
+            )
+        try:
+            manifest = RunManifest.from_dict(data["manifest"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultStoreError(
+                f"result-store entry {path} (schema {RESULT_SCHEMA}) does "
+                f"not parse as a RunManifest: {exc}"
+            ) from exc
+        self.hits += 1
+        return manifest
+
+    def put(self, manifest: RunManifest) -> pathlib.Path:
+        """Persist a manifest under its scenario's content hash."""
+        path = self.path_for(manifest.scenario_hash)
+        atomic_write_json(
+            path, {"schema": RESULT_SCHEMA, "manifest": manifest.to_dict()}
+        )
+        return path
+
+    def discard(self, content_hash: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            os.unlink(self.path_for(content_hash))
+            return True
+        except OSError:
+            return False

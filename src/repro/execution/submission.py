@@ -1,0 +1,75 @@
+"""The unit of work the execution core accepts.
+
+A :class:`Submission` pairs a declarative
+:class:`~repro.scenario.spec.Scenario` with its run options.  The
+scenario's :meth:`~repro.scenario.spec.Scenario.content_hash` is the
+submission's identity: two submissions of semantically equal scenarios
+are the *same work*, which is what makes the persistent
+:class:`~repro.execution.store.ResultStore` and the service's
+deduplication sound.
+
+A submission is only *cacheable* when running it is a pure function of
+the scenario — requesting a trace is a side effect (the trace file /
+stream is part of the contract), so traced submissions always execute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core import canonical_json
+from repro.scenario.spec import Scenario
+
+__all__ = ["Submission", "as_submission", "cluster_key"]
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One scenario plus how to run it.
+
+    ``trace_path`` may be a filesystem path or an open text stream (see
+    :class:`~repro.telemetry.trace.JsonLinesTraceSink`); either makes
+    the submission uncacheable.  ``use_store`` opts a single submission
+    out of the result store without disabling the store globally.
+    """
+
+    scenario: Scenario
+    trace_path: Any = None
+    use_store: bool = True
+
+    @property
+    def content_hash(self) -> str:
+        """The scenario's identity — the result store key."""
+        return self.scenario.content_hash()
+
+    @property
+    def cacheable(self) -> bool:
+        return self.use_store and self.trace_path is None
+
+    @property
+    def label(self) -> str:
+        return self.scenario.name
+
+
+def as_submission(item: Union[Submission, Scenario]) -> Submission:
+    """Coerce a bare scenario into a default submission."""
+    if isinstance(item, Submission):
+        return item
+    if isinstance(item, Scenario):
+        return Submission(scenario=item)
+    raise TypeError(
+        f"expected Scenario or Submission, got {type(item).__name__}"
+    )
+
+
+def cluster_key(scenario: Scenario) -> str:
+    """Digest of the scenario's cluster config alone.
+
+    Scenarios sharing a cluster key share storage profiles and hence
+    §4 calibrations, so the service batches them onto the same warm
+    worker — the batch pays for at most one profiling pass.
+    """
+    payload = canonical_json(scenario.cluster.to_dict())
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -21,8 +21,8 @@ from repro.experiments.figures import (
     tab2_resource_usage,
     tab3_loc,
 )
+from repro.execution import RunSpec, parallel_jobs, run_specs
 from repro.experiments.harness import ExperimentResult, controller_for
-from repro.experiments.parallel import RunSpec, parallel_jobs, run_specs
 from repro.experiments.report import format_result, result_payload
 
 __all__ = [

@@ -8,14 +8,14 @@ Structure: every figure is now declarative — each independent cluster
 run is a :class:`~repro.scenario.Scenario` (topology + policy +
 workload + faults + measurement as one canonical-JSON value), built
 here or taken from :mod:`repro.scenario.library`, and executed through
-the picklable :func:`~repro.scenario.run_scenario` worker wrapped in a
-:class:`~repro.experiments.parallel.RunSpec`.  With an active worker
+the repo-wide execution core
+(:class:`~repro.execution.core.ExecutionCore`).  With an active worker
 pool the variants of one figure run concurrently; manifests are merged
-in spec order, so the assembled :class:`ExperimentResult` is identical
-to a serial run (see parallel.py's determinism guarantee).  The figure
-functions only *shape* manifest rows; any scenario can equally be
-serialised to JSON and re-run via ``python -m repro.experiments.run
-scenario <file.json>``.
+in submission order, so the assembled :class:`ExperimentResult` is
+identical to a serial run (see :mod:`repro.execution.pool`'s
+determinism guarantee).  The figure functions only *shape* manifest
+rows; any scenario can equally be serialised to JSON and re-run via
+``python -m repro.experiments.run scenario <file.json>``.
 """
 
 from __future__ import annotations
@@ -34,8 +34,8 @@ from repro.config import (
 )
 from repro.core import NodePolicy, PolicySpec
 from repro.core.metrics import relative_performance, slowdown
+from repro.execution import ExecutionCore
 from repro.experiments.harness import ExperimentResult, controller_for
-from repro.experiments.parallel import RunSpec, run_specs
 from repro.faults import FaultEvent, FaultPlan
 from repro.hive import TPCH_QUERIES
 from repro.scenario import (
@@ -43,9 +43,7 @@ from repro.scenario import (
     MeasurementSpec,
     PreloadSpec,
     Scenario,
-    ScenarioRunner,
     WorkloadSpec,
-    run_scenario,
     single_app,
     wc_alone,
     wc_teragen_isolation,
@@ -81,11 +79,15 @@ _BIG_SORT = 400 * GB
 _THROTTLE_BPS = 48.0 * MB
 
 
+# The figures' shared core: no persistent store — a figure always
+# re-simulates, so golden outputs never depend on cache state.
+_CORE = ExecutionCore()
+
+
 def _run_all(scenarios: list[Scenario]) -> list:
-    """Fan the scenarios out over the worker pool, manifests in order."""
-    return run_specs([
-        RunSpec.of(run_scenario, s, label=s.name) for s in scenarios
-    ])
+    """Fan the scenarios out through the execution core, manifests in
+    submission order."""
+    return _CORE.run(scenarios)
 
 
 # --------------------------------------------------------------------- Fig 2
@@ -212,7 +214,7 @@ def fig7_depth_adaptation(config: ClusterConfig | None = None) -> ExperimentResu
         metrics=("runtime", "depth_trace"),
         options={"depth_source": "dn00:persistent"},
     )
-    man = ScenarioRunner().run(scenario)
+    man = _CORE.submit(scenario)
     d_times, d_vals = man.series["depth"]
     l_times, l_vals = man.series["latency"]
     result.series["depth"] = (list(d_times), list(d_vals))

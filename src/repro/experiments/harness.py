@@ -8,7 +8,6 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -16,6 +15,7 @@ from repro.cluster import BigDataCluster
 from repro.config import MB, ClusterConfig
 from repro.core import DepthController, NodePolicy, PolicySpec, canonical_json
 from repro.core.profiling import calibrate_controller
+from repro.execution.atomic import atomic_write_json
 from repro.mapreduce import Job, JobSpec
 from repro.telemetry import JsonLinesTraceSink
 
@@ -116,13 +116,11 @@ def _load_calibration(path: pathlib.Path) -> Optional[DepthController]:
 
 
 def _store_calibration(path: pathlib.Path, ctrl: DepthController) -> None:
-    """Best-effort atomic write (concurrent workers may race benignly)."""
+    """Best-effort atomic write: a parallel cold start has every worker
+    profile then publish concurrently, and readers must only ever see a
+    complete JSON document (temp file + rename; last writer wins)."""
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump({"controller": dataclasses.asdict(ctrl)}, fh, indent=2)
-        os.replace(tmp, path)
+        atomic_write_json(path, {"controller": dataclasses.asdict(ctrl)})
     except OSError:
         pass  # read-only cache dir etc.: the in-memory cache still works
 

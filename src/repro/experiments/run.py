@@ -24,6 +24,20 @@ Or run any declarative scenario file (see ``examples/scenarios/``)::
 cartesian grid of validated scenario variants; the grid rides the same
 worker pool as the figures.  ``--scale/--storage/--seed`` do not apply
 in scenario mode — a scenario file pins its whole cluster config.
+Scenario runs route through the execution core's persistent result
+store (``$REPRO_CACHE_DIR``): re-running a file or an interrupted sweep
+re-simulates only the cells without a stored manifest (``--no-store``
+opts out).
+
+Or start the long-running scenario service and submit from a client::
+
+    python -m repro.experiments.run serve --address tcp://127.0.0.1:8642 --jobs 4
+
+    # elsewhere:
+    from repro.service import ServiceClient
+    with ServiceClient("tcp://127.0.0.1:8642") as client:
+        sub = client.submit("examples/scenarios/latency_breakdown.json")
+        manifest = client.result(sub)
 
 Parallelism (``--jobs N``; 0 = all cores):
 
@@ -47,14 +61,16 @@ import sys
 import time
 
 from repro.config import HDD_PROFILE, SSD_PROFILE, default_cluster
-from repro.experiments import figures
-from repro.experiments.harness import controller_for
-from repro.experiments.parallel import (
+from repro.execution import (
+    ExecutionCore,
+    ResultStore,
     RunSpec,
     default_jobs,
     parallel_jobs,
     run_specs,
 )
+from repro.experiments import figures
+from repro.experiments.harness import controller_for
 from repro.experiments.report import (
     format_manifest,
     format_result,
@@ -131,9 +147,23 @@ def _write_profile(profiler, name: str,
     print(f"(profile: {prof_path} + {name}.hotspots.txt)\n")
 
 
+def _result_store(args) -> ResultStore | None:
+    """The persistent manifest store the CLI routes through — disabled
+    by ``--no-store`` or ``REPRO_RESULT_STORE=0``."""
+    import os
+
+    if getattr(args, "no_store", False):
+        return None
+    if os.environ.get("REPRO_RESULT_STORE") == "0":
+        return None
+    return ResultStore.default()
+
+
 def run_scenarios(args, parser) -> int:
     """``run scenario <file.json>...`` — run declarative scenario files,
-    each optionally expanded into a ``--sweep`` grid."""
+    each optionally expanded into a ``--sweep`` grid, through the
+    execution core (repeated cells are result-store cache hits, so an
+    interrupted grid resumes with only its missing cells)."""
     if not args.names:
         parser.error("scenario mode needs at least one JSON file")
     try:
@@ -150,9 +180,11 @@ def run_scenarios(args, parser) -> int:
             parser.error(f"{path}: {exc}")
 
     jobs = args.jobs if args.jobs > 0 else default_jobs()
+    core = ExecutionCore(store=_result_store(args))
     if args.profile:
-        # Profiling is per-process: fan-out would hide the workers'
-        # time, so the grid runs serially under one profiler each.
+        # Profiling is per-process (and a cache hit would profile
+        # nothing): the grid runs serially, one profiler per cell,
+        # bypassing the store.
         import cProfile
 
         manifests = []
@@ -165,9 +197,8 @@ def run_scenarios(args, parser) -> int:
                 manifests.append(manifest)
                 _write_profile(profiler, _slug(scenario.name), args.out)
     else:
-        specs = [RunSpec.of(run_scenario, s, label=s.name) for s in scenarios]
         with parallel_jobs(jobs):
-            manifests = run_specs(specs)
+            manifests = core.run(scenarios)
     for manifest in manifests:
         print(format_manifest(manifest))
         print()
@@ -175,6 +206,32 @@ def run_scenarios(args, parser) -> int:
             args.out.mkdir(parents=True, exist_ok=True)
             out = args.out / f"{_slug(manifest.scenario)}.json"
             out.write_text(manifest.to_json() + "\n")
+    if core.store is not None:
+        print(f"(result store: {core.cache_hits} hit(s), "
+              f"{core.executed} run(s); {core.store.root})")
+    return 0
+
+
+def run_serve(args, parser) -> int:
+    """``run serve`` — the long-running scenario service: an async
+    scheduler accepting submissions over ``--address``, fanning them
+    out to warm workers through the execution core."""
+    from repro.service import SchedulerService
+
+    service = SchedulerService(
+        store=_result_store(args),
+        jobs=args.jobs,
+    )
+    try:
+        service.start(args.address)
+        print(f"scenario service listening on {service.address} "
+              f"(jobs={args.jobs}, "
+              f"store={'off' if service.core.store is None else service.core.store.root})")
+        service.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.stop()
     return 0
 
 
@@ -184,8 +241,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate figures/tables of the IBIS paper (§7).",
     )
     parser.add_argument("names", nargs="*",
-                        help="experiment names (e.g. fig6 tab3), 'all', or "
-                             "'scenario FILE.json...' to run scenario files")
+                        help="experiment names (e.g. fig6 tab3), 'all', "
+                             "'scenario FILE.json...' to run scenario files, "
+                             "or 'serve' to start the scenario service")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="PATH=V1,V2,...",
@@ -201,6 +259,14 @@ def main(argv: list[str] | None = None) -> int:
                              "is deterministic regardless of N")
     parser.add_argument("--out", type=pathlib.Path, default=None, metavar="DIR",
                         help="also write each result as DIR/<name>.{txt,json}")
+    parser.add_argument("--no-store", action="store_true",
+                        help="scenario/serve modes: bypass the persistent "
+                             "result store (every cell re-simulates)")
+    parser.add_argument("--address", default="tcp://127.0.0.1:8642",
+                        metavar="URL",
+                        help="serve mode: transport address to listen on "
+                             "(tcp://host:port or inproc://name; default "
+                             "%(default)s)")
     parser.add_argument("--profile", action="store_true",
                         help="run each experiment under cProfile; writes "
                              "<name>.prof and a top-20 <name>.hotspots.txt "
@@ -217,6 +283,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.names and args.names[0] == "scenario":
         args.names = args.names[1:]
         return run_scenarios(args, parser)
+    if args.names and args.names[0] == "serve":
+        if args.names[1:]:
+            parser.error("serve mode takes no experiment names "
+                         "(submit scenarios through the client)")
+        return run_serve(args, parser)
     if args.sweep:
         parser.error("--sweep only applies to scenario mode "
                      "(run scenario FILE.json --sweep ...)")

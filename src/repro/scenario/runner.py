@@ -10,17 +10,18 @@ and ``trace_path`` is deterministic, captured by ``metrics_hash`` — the
 same scenario (hence seed) always reproduces it bit for bit.
 
 :func:`run_scenario` is the module-level, picklable entry point the
-experiment fan-out (:mod:`repro.experiments.parallel`) dispatches to
-worker processes.
+execution core (:mod:`repro.execution`) dispatches to worker
+processes.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Mapping, Optional, Union
 
 import numpy as np
@@ -127,8 +128,23 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        """Inverse of :meth:`to_dict`: ``from_dict(to_dict(m))`` has the
+        same ``metrics_hash`` as ``m`` (canonical JSON treats the tuples
+        rebuilt here and the lists JSON produced identically).
+
+        Unknown fields raise a :class:`ValueError` naming them and the
+        fields this build knows — a manifest written by a newer schema
+        fails loudly instead of with a bare ``TypeError``.
+        """
         payload = dict(data)
         payload.pop("metrics_hash", None)  # derived, recomputed on demand
+        known = {f.name for f in fields(cls)}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(
+                f"unknown RunManifest fields {sorted(extra)}; this build "
+                f"knows {sorted(known)}"
+            )
         payload["series"] = {
             k: (list(t), list(v))
             for k, (t, v) in dict(payload.get("series", {})).items()
@@ -142,9 +158,14 @@ class RunManifest:
 
 class ScenarioRunner:
     """Runs scenarios; one instance may run many (it keeps no state
-    between runs beyond the optional trace path template)."""
+    between runs beyond the optional trace target).
 
-    def __init__(self, trace_path: "pathlib.Path | str | None" = None):
+    ``trace_path`` may also be an open text stream (the scenario
+    service streams a run's telemetry through one); only real paths are
+    recorded in the manifest.
+    """
+
+    def __init__(self, trace_path: "pathlib.Path | str | Any | None" = None):
         self.trace_path = trace_path
 
     # ----------------------------------------------------------- plumbing
@@ -251,10 +272,11 @@ class ScenarioRunner:
 
         # Sinks must subscribe before any simulated work happens.
         trace = None
+        trace_is_path = isinstance(self.trace_path, (str, os.PathLike))
         if self.trace_path is not None:
-            trace = JsonLinesTraceSink(
-                cluster.telemetry, pathlib.Path(self.trace_path)
-            )
+            target = (pathlib.Path(self.trace_path) if trace_is_path
+                      else self.trace_path)
+            trace = JsonLinesTraceSink(cluster.telemetry, target)
         fault_sinks = None
         if "fault_counters" in measure.metrics:
             fault_sinks = (
@@ -315,7 +337,7 @@ class ScenarioRunner:
             storage=scenario.cluster.storage.name,
             sim_time=cluster.sim.now,
             wall_time=time.perf_counter() - t_wall,
-            trace_path=str(self.trace_path) if self.trace_path else None,
+            trace_path=str(self.trace_path) if trace_is_path else None,
         )
         self._collect(scenario, cluster, handles, manifest,
                       fault_sinks=fault_sinks, depth_sinks=depth_sinks,

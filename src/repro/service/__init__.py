@@ -1,0 +1,59 @@
+"""The scenario service: a long-running scheduler over the execution core.
+
+The one-shot CLI and the figures already route every run through
+:mod:`repro.execution`; this package puts a server in front of the same
+core — an async central scheduler
+(:class:`~repro.service.scheduler.SchedulerService`) that accepts
+scenario submissions over a pluggable transport
+(:mod:`~repro.service.transport`: ``inproc://`` for deterministic
+tests, ``tcp://`` for real clients), deduplicates them by content hash,
+answers repeats from the persistent result store, batches
+identical-cluster scenarios onto warm workers, and streams manifests —
+plus, on request, the run's telemetry-bus events — back to the thin
+:class:`~repro.service.client.ServiceClient`.
+
+Start one from the CLI (``python -m repro.experiments.run serve``) or
+in-process::
+
+    from repro.execution import ResultStore
+    from repro.service import SchedulerService, ServiceClient
+
+    service = SchedulerService(store=ResultStore.default()).start("inproc://demo")
+    with ServiceClient("inproc://demo") as client:
+        manifest = client.run("examples/scenarios/latency_breakdown.json")
+    service.stop()
+
+See DESIGN.md ("Execution core & scenario service").
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import STATES, decode, encode
+from repro.service.scheduler import SchedulerService, SubmissionRecord
+from repro.service.transport import (
+    ClientChannel,
+    Listener,
+    ServerChannel,
+    connect,
+    listen,
+    parse_address,
+    register_transport,
+)
+from repro.service.worker import run_batch
+
+__all__ = [
+    "STATES",
+    "ClientChannel",
+    "Listener",
+    "SchedulerService",
+    "ServerChannel",
+    "ServiceClient",
+    "ServiceError",
+    "SubmissionRecord",
+    "connect",
+    "decode",
+    "encode",
+    "listen",
+    "parse_address",
+    "register_transport",
+    "run_batch",
+]

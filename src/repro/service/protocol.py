@@ -1,0 +1,63 @@
+"""Wire protocol of the scenario service.
+
+Messages are JSON objects, one per line (newline-delimited), each with
+an ``"op"`` field.  The same dict-shaped messages flow over every
+transport — the in-process transport skips the encoding entirely and
+passes the dicts through, which is why the codec lives here and not in
+the channels.
+
+Client → scheduler ops:
+
+``submit``    ``{"op": "submit", "scenario": {...}, "stream": bool}``
+``status``    ``{"op": "status", "sub_id": "..."}``
+``result``    ``{"op": "result", "sub_id": "..."}``
+``stats``     ``{"op": "stats"}``
+
+Scheduler → client ops:
+
+``submitted`` ``{"op": "submitted", "sub_id", "content_hash", "state"}``
+``status``    ``{"op": "status", "sub_id", "state", "cached", ...}``
+``event``     ``{"op": "event", "sub_id", "record": {...}}`` (streamed
+              before the result when the submission asked for events;
+              records follow :data:`repro.telemetry.trace.TRACE_SCHEMA`)
+``result``    ``{"op": "result", "sub_id", "state", "manifest": {...}}``
+``stats``     ``{"op": "stats", ...counters...}``
+``error``     ``{"op": "error", "error": "..."}``
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "STATES",
+    "decode",
+    "encode",
+    "error_message",
+]
+
+#: Submission lifecycle, in order.
+STATES = ("queued", "running", "done", "failed")
+
+
+def encode(msg: dict[str, Any]) -> bytes:
+    """One message → one JSON line (the TCP framing)."""
+    return (json.dumps(msg, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: "bytes | str") -> dict[str, Any]:
+    """One JSON line → one message; rejects non-object payloads."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    msg = json.loads(line)
+    if not isinstance(msg, dict) or "op" not in msg:
+        raise ValueError(f"service message must be an object with an 'op', "
+                         f"got {line.strip()!r}")
+    return msg
+
+
+def error_message(exc_or_text: "BaseException | str") -> dict[str, Any]:
+    if isinstance(exc_or_text, BaseException):
+        exc_or_text = f"{type(exc_or_text).__name__}: {exc_or_text}"
+    return {"op": "error", "error": str(exc_or_text)}

@@ -1,0 +1,377 @@
+"""The long-running scenario scheduler.
+
+One asyncio event loop (running on its own thread once
+:meth:`SchedulerService.start` returns) owns all submission state; all
+transports feed it the dict messages of
+:mod:`repro.service.protocol`.  A submission flows::
+
+    submit → dedup (content hash) → result-store lookup → queue
+          → batch (cluster key) → warm worker pool → store → client
+
+* **Dedup** — a second live submission of the same scenario content
+  hash attaches to the first's record instead of executing again.
+* **Store** — with a :class:`~repro.execution.store.ResultStore`, a
+  previously-run scenario is answered straight from disk, never queued.
+* **Batching** — queued submissions drain in waves; each wave is
+  grouped by :func:`~repro.execution.submission.cluster_key`, one
+  group per pool task, so identical-cluster scenarios share a warm
+  worker (and its calibration) while distinct groups run concurrently.
+* **Streaming** — a submission with ``stream`` set runs with telemetry
+  capture; its bus records are sent to the client (``event`` messages)
+  before the manifest.  Streamed submissions always execute — the
+  event stream is a side effect the store cannot replay.
+
+``jobs <= 1`` runs batches on a single warm thread (deterministic, and
+what the in-process tests use); ``jobs > 1`` uses a process pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.execution import ExecutionCore, ResultStore, cluster_key
+from repro.scenario.runner import RunManifest
+from repro.scenario.spec import Scenario
+from repro.service.protocol import error_message
+from repro.service.transport import Listener, ServerChannel, listen
+
+__all__ = ["SchedulerService", "SubmissionRecord"]
+
+
+@dataclass
+class SubmissionRecord:
+    """One unit of queued/running/finished work (aliases share it)."""
+
+    sub_id: str
+    scenario_name: str
+    scenario_json: str
+    content_hash: str
+    cluster: str
+    stream: bool
+    state: str = "queued"
+    cached: bool = False
+    manifest: Optional[dict] = None
+    events: Optional[list] = None
+    error: Optional[str] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def status(self, sub_id: str) -> dict[str, Any]:
+        out = {
+            "op": "status",
+            "sub_id": sub_id,
+            "scenario": self.scenario_name,
+            "content_hash": self.content_hash,
+            "state": self.state,
+            "cached": self.cached,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class SchedulerService:
+    """Accepts scenario submissions over a transport and executes them
+    through the execution core's store + warm worker pool."""
+
+    def __init__(
+        self,
+        core: Optional[ExecutionCore] = None,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        batching: bool = True,
+    ):
+        if core is not None and store is not None:
+            raise ValueError("pass either a core or a store, not both")
+        self.core = core if core is not None else ExecutionCore(store=store)
+        self.jobs = max(1, int(jobs))
+        self.batching = batching
+        self.address: Optional[str] = None
+
+        self._records: dict[str, SubmissionRecord] = {}
+        self._by_hash: dict[str, SubmissionRecord] = {}
+        self._pending: list[SubmissionRecord] = []
+        self._drain_task: Optional[asyncio.Task] = None
+        self._next_id = 0
+        self.stats: dict[str, int] = {
+            "submitted": 0, "cache_hits": 0, "deduplicated": 0,
+            "executed": 0, "failed": 0, "batches": 0,
+        }
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._listener: Optional[Listener] = None
+        self._executor = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, address: str) -> "SchedulerService":
+        """Bind ``address`` and serve from a background event loop;
+        returns once the listener is live (``self.address`` is then the
+        bound address — useful with ``tcp://host:0``)."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._serve_thread, args=(address,),
+            name="repro-scheduler", daemon=True,
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def join(self) -> None:
+        """Block until the service stops (Ctrl-C in the CLI)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        """Stop serving: close the listener, drop the workers."""
+        if self._loop is not None and self._stop_event is not None:
+            loop, stop = self._loop, self._stop_event
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _serve_thread(self, address: str) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve(address))
+        finally:
+            loop.close()
+            self._loop = None
+
+    async def _serve(self, address: str) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            self._listener = await listen(address, self._handle_connection)
+            self.address = self._listener.address
+            if self.jobs > 1:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            else:
+                # One warm thread: deterministic, monkeypatchable — the
+                # in-process test/smoke configuration.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-worker"
+                )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self._listener.close()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            # Wind down open connections and in-flight batch awaits so
+            # the loop closes without destroying pending tasks.
+            doomed = [t for t in asyncio.all_tasks()
+                      if t is not asyncio.current_task()]
+            for task in doomed:
+                task.cancel()
+            await asyncio.gather(*doomed, return_exceptions=True)
+
+    # ------------------------------------------------------------- serving
+    async def _handle_connection(self, chan: ServerChannel) -> None:
+        while True:
+            msg = await chan.recv()
+            if msg is None:
+                return
+            try:
+                op = msg.get("op")
+                if op == "submit":
+                    await self._op_submit(chan, msg)
+                elif op == "status":
+                    await chan.send(self._record_of(msg).status(msg["sub_id"]))
+                elif op == "result":
+                    await self._op_result(chan, msg)
+                elif op == "stats":
+                    await self._op_stats(chan)
+                else:
+                    await chan.send(error_message(f"unknown op {op!r}"))
+            except Exception as exc:
+                await chan.send(error_message(exc))
+
+    def _record_of(self, msg: dict) -> SubmissionRecord:
+        sub_id = msg.get("sub_id")
+        record = self._records.get(sub_id)
+        if record is None:
+            raise KeyError(
+                f"unknown submission {sub_id!r} "
+                f"({len(self._records)} known)"
+            )
+        return record
+
+    async def _op_submit(self, chan: ServerChannel, msg: dict) -> None:
+        payload = msg.get("scenario")
+        if not isinstance(payload, dict):
+            raise ValueError("submit needs a scenario object")
+        stream = bool(msg.get("stream", False))
+        # Parsing validates — and may calibrate a first-seen storage
+        # profile ("controller": "auto"), so keep it off the loop.
+        loop = asyncio.get_running_loop()
+        scenario: Scenario = await loop.run_in_executor(
+            None, Scenario.from_dict, payload
+        )
+        content_hash = scenario.content_hash()
+        self._next_id += 1
+        sub_id = f"sub-{self._next_id:06d}"
+        self.stats["submitted"] += 1
+
+        record: Optional[SubmissionRecord] = None
+        if not stream:
+            # Live dedup: attach to an identical in-flight submission.
+            prior = self._by_hash.get(content_hash)
+            if prior is not None and prior.state != "failed":
+                self.stats["deduplicated"] += 1
+                self._records[sub_id] = prior
+                await chan.send(self._submitted(sub_id, prior))
+                return
+            # Persistent store: answer an already-run scenario from disk.
+            if self.core.store is not None:
+                hit = await loop.run_in_executor(
+                    None, self.core.store.get, content_hash
+                )
+                if hit is not None:
+                    record = SubmissionRecord(
+                        sub_id=sub_id, scenario_name=scenario.name,
+                        scenario_json="", content_hash=content_hash,
+                        cluster=cluster_key(scenario), stream=False,
+                        state="done", cached=True, manifest=hit.to_dict(),
+                    )
+                    record.done.set()
+                    self.stats["cache_hits"] += 1
+                    self.core.cache_hits += 1
+
+        if record is None:
+            record = SubmissionRecord(
+                sub_id=sub_id,
+                scenario_name=scenario.name,
+                scenario_json=scenario.to_json(),
+                content_hash=content_hash,
+                cluster=cluster_key(scenario),
+                stream=stream,
+            )
+            self._pending.append(record)
+            if self._drain_task is None or self._drain_task.done():
+                self._drain_task = asyncio.create_task(self._drain())
+        self._records[sub_id] = record
+        if not stream:
+            self._by_hash[content_hash] = record
+        await chan.send(self._submitted(sub_id, record))
+
+    @staticmethod
+    def _submitted(sub_id: str, record: SubmissionRecord) -> dict:
+        return {
+            "op": "submitted",
+            "sub_id": sub_id,
+            "content_hash": record.content_hash,
+            "state": record.state,
+            "cached": record.cached,
+        }
+
+    async def _op_result(self, chan: ServerChannel, msg: dict) -> None:
+        record = self._record_of(msg)
+        sub_id = msg["sub_id"]
+        await record.done.wait()
+        if record.state == "failed":
+            await chan.send({
+                "op": "result", "sub_id": sub_id, "state": "failed",
+                "error": record.error,
+            })
+            return
+        if record.stream and record.events:
+            for rec in record.events:
+                await chan.send({
+                    "op": "event", "sub_id": sub_id, "record": rec,
+                })
+        await chan.send({
+            "op": "result", "sub_id": sub_id, "state": record.state,
+            "cached": record.cached, "manifest": record.manifest,
+        })
+
+    async def _op_stats(self, chan: ServerChannel) -> None:
+        store = self.core.store
+        await chan.send({
+            "op": "stats",
+            **self.stats,
+            "pending": len(self._pending),
+            "running": sum(
+                1 for r in {id(r): r for r in self._records.values()}.values()
+                if r.state == "running"
+            ),
+            "jobs": self.jobs,
+            "batching": self.batching,
+            "address": self.address,
+            "store": str(store.root) if store is not None else None,
+            "store_hits": store.hits if store is not None else 0,
+            "store_misses": store.misses if store is not None else 0,
+        })
+
+    # ----------------------------------------------------------- execution
+    async def _drain(self) -> None:
+        """Drain the queue in waves: group the current pending set by
+        cluster key, run the groups concurrently on the pool, repeat.
+        Submissions arriving mid-wave join the next wave — natural
+        batching under load, no timers (deterministic in tests)."""
+        while self._pending:
+            wave, self._pending = self._pending, []
+            if self.batching:
+                groups: dict[str, list[SubmissionRecord]] = {}
+                for record in wave:
+                    groups.setdefault(record.cluster, []).append(record)
+                batches = list(groups.values())
+            else:
+                batches = [[record] for record in wave]
+            await asyncio.gather(
+                *(self._run_batch(batch) for batch in batches)
+            )
+
+    async def _run_batch(self, records: list[SubmissionRecord]) -> None:
+        from repro.service.worker import run_batch
+
+        for record in records:
+            record.state = "running"
+        self.stats["batches"] += 1
+        payloads = [(r.scenario_json, r.stream) for r in records]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, run_batch, payloads
+            )
+        except Exception as exc:  # pool died / shutdown race
+            for record in records:
+                record.state, record.error = "failed", str(exc)
+                self.stats["failed"] += 1
+                record.done.set()
+            return
+        for record, result in zip(records, results):
+            if result["error"] is not None:
+                record.state, record.error = "failed", result["error"]
+                self.stats["failed"] += 1
+            else:
+                record.manifest = result["manifest"]
+                record.events = result["events"]
+                record.state = "done"
+                self.stats["executed"] += 1
+                self.core.executed += 1
+                if self.core.store is not None and not record.stream:
+                    self.core.store.put(
+                        RunManifest.from_dict(record.manifest)
+                    )
+            record.done.set()

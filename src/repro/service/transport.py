@@ -1,0 +1,286 @@
+"""Pluggable transports: how clients reach the scheduler.
+
+Two schemes ship (the comm layer is modelled on Dask's ``distributed``,
+which the ROADMAP names as the reference shape):
+
+* ``inproc://<name>`` — an in-process pipe pair: no sockets, no ports,
+  fully deterministic — what the test suite and the CI smoke job use.
+* ``tcp://<host>:<port>`` — JSON-lines over a TCP stream (port ``0``
+  picks a free port; the listener reports the bound address).
+
+The server side is async (:class:`ServerChannel`, driven by the
+scheduler's event loop); the client side is deliberately synchronous
+(:class:`ClientChannel`) so the thin client works from any script,
+thread, or REPL without touching asyncio.
+
+``register_transport`` lets third parties add schemes; :func:`listen`
+and :func:`connect` dispatch on the address prefix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import socket
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.service.protocol import decode, encode
+
+__all__ = [
+    "ClientChannel",
+    "Listener",
+    "ServerChannel",
+    "connect",
+    "listen",
+    "parse_address",
+    "register_transport",
+]
+
+#: Per-connection server hook: runs until the client hangs up.
+Handler = Callable[["ServerChannel"], Awaitable[None]]
+
+
+def parse_address(address: str) -> tuple[str, str]:
+    """``scheme://rest`` → ``(scheme, rest)``."""
+    scheme, sep, rest = address.partition("://")
+    if not sep or not scheme or not rest:
+        raise ValueError(
+            f"transport address must look like scheme://location "
+            f"(tcp://host:port or inproc://name), got {address!r}"
+        )
+    return scheme, rest
+
+
+# --------------------------------------------------------------- interfaces
+class ServerChannel:
+    """The scheduler's side of one client connection (async)."""
+
+    async def recv(self) -> Optional[dict]:
+        """Next message, or ``None`` once the client hung up."""
+        raise NotImplementedError
+
+    async def send(self, msg: dict) -> None:
+        raise NotImplementedError
+
+
+class Listener:
+    """A live, bound endpoint accepting connections on the serving loop."""
+
+    address: str
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+
+class ClientChannel:
+    """The client's side: blocking send/recv of dict messages."""
+
+    def send(self, msg: dict) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: Optional[float] = None) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ClientChannel":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ inproc
+#: name → live in-process listener (one scheduler per name).
+_INPROC: dict[str, "_InProcListener"] = {}
+
+
+class _InProcServerChannel(ServerChannel):
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._to_server: asyncio.Queue = asyncio.Queue()
+        self._to_client: "queue.Queue[dict]" = queue.Queue()
+
+    async def recv(self) -> Optional[dict]:
+        return await self._to_server.get()
+
+    async def send(self, msg: dict) -> None:
+        self._to_client.put(msg)
+
+
+class _InProcClientChannel(ClientChannel):
+    def __init__(self, server: _InProcServerChannel):
+        self._server = server
+        self._closed = False
+
+    def send(self, msg: dict) -> None:
+        if self._closed:
+            raise ConnectionError("channel is closed")
+        self._server._loop.call_soon_threadsafe(
+            self._server._to_server.put_nowait, msg
+        )
+
+    def recv(self, timeout: Optional[float] = None) -> dict:
+        return self._server._to_client.get(timeout=timeout)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server._loop.call_soon_threadsafe(
+            self._server._to_server.put_nowait, None
+        )
+
+
+class _InProcListener(Listener):
+    def __init__(self, name: str, handler: Handler,
+                 loop: asyncio.AbstractEventLoop):
+        self.name = name
+        self.address = f"inproc://{name}"
+        self.handler = handler
+        self.loop = loop
+
+    async def close(self) -> None:
+        _INPROC.pop(self.name, None)
+
+
+async def _listen_inproc(rest: str, handler: Handler) -> Listener:
+    if rest in _INPROC:
+        raise ValueError(f"inproc://{rest} is already listening")
+    listener = _InProcListener(rest, handler, asyncio.get_running_loop())
+    _INPROC[rest] = listener
+    return listener
+
+
+def _connect_inproc(rest: str) -> ClientChannel:
+    listener = _INPROC.get(rest)
+    if listener is None:
+        raise ConnectionError(
+            f"no scheduler is listening on inproc://{rest} "
+            f"(live: {sorted(_INPROC) or 'none'})"
+        )
+    server = _InProcServerChannel(listener.loop)
+    asyncio.run_coroutine_threadsafe(listener.handler(server), listener.loop)
+    return _InProcClientChannel(server)
+
+
+# --------------------------------------------------------------------- tcp
+class _TcpServerChannel(ServerChannel):
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    async def recv(self) -> Optional[dict]:
+        line = await self._reader.readline()
+        if not line:
+            return None
+        return decode(line)
+
+    async def send(self, msg: dict) -> None:
+        self._writer.write(encode(msg))
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _TcpListener(Listener):
+    def __init__(self, server: asyncio.base_events.Server, address: str):
+        self._server = server
+        self.address = address
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+async def _listen_tcp(rest: str, handler: Handler) -> Listener:
+    host, _, port = rest.rpartition(":")
+    if not host or not port:
+        raise ValueError(f"tcp address needs host:port, got tcp://{rest}")
+
+    async def on_connect(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        chan = _TcpServerChannel(reader, writer)
+        try:
+            await handler(chan)
+        finally:
+            await chan.close()
+
+    server = await asyncio.start_server(on_connect, host, int(port))
+    bound = server.sockets[0].getsockname()
+    return _TcpListener(server, f"tcp://{bound[0]}:{bound[1]}")
+
+
+class _TcpClientChannel(ClientChannel):
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def send(self, msg: dict) -> None:
+        self._file.write(encode(msg))
+        self._file.flush()
+
+    def recv(self, timeout: Optional[float] = None) -> dict:
+        self._sock.settimeout(timeout)
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("scheduler closed the connection")
+        return decode(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+def _connect_tcp(rest: str) -> ClientChannel:
+    host, _, port = rest.rpartition(":")
+    if not host or not port:
+        raise ValueError(f"tcp address needs host:port, got tcp://{rest}")
+    return _TcpClientChannel(socket.create_connection((host, int(port))))
+
+
+# ---------------------------------------------------------------- registry
+_TRANSPORTS: dict[str, tuple[Callable, Callable]] = {
+    "inproc": (_listen_inproc, _connect_inproc),
+    "tcp": (_listen_tcp, _connect_tcp),
+}
+
+
+def register_transport(scheme: str, listen_fn: Callable,
+                       connect_fn: Callable) -> None:
+    """Plug in a new scheme (``listen_fn`` is an async callable
+    ``(rest, handler) -> Listener``; ``connect_fn`` is sync
+    ``(rest) -> ClientChannel``)."""
+    _TRANSPORTS[scheme] = (listen_fn, connect_fn)
+
+
+async def listen(address: str, handler: Handler) -> Listener:
+    """Bind ``address`` on the *running* event loop; ``handler`` runs
+    once per client connection."""
+    scheme, rest = parse_address(address)
+    if scheme not in _TRANSPORTS:
+        raise ValueError(
+            f"unknown transport scheme {scheme!r}; "
+            f"registered: {sorted(_TRANSPORTS)}"
+        )
+    return await _TRANSPORTS[scheme][0](rest, handler)
+
+
+def connect(address: str) -> ClientChannel:
+    """Open a synchronous client channel to a listening scheduler."""
+    scheme, rest = parse_address(address)
+    if scheme not in _TRANSPORTS:
+        raise ValueError(
+            f"unknown transport scheme {scheme!r}; "
+            f"registered: {sorted(_TRANSPORTS)}"
+        )
+    return _TRANSPORTS[scheme][1](rest)

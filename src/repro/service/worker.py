@@ -1,0 +1,64 @@
+"""What a warm worker executes: one batch of scenarios, serially.
+
+The scheduler groups submissions by cluster key
+(:func:`repro.execution.submission.cluster_key`) and ships each group
+here as one task, so every scenario in the batch shares the worker's
+§4 calibration (in-process cache first, disk cache second) — a batch
+pays for at most one profiling pass, and pool processes stay warm
+across batches.
+
+Scenarios travel as canonical JSON (the same text their content hash
+digests) and manifests travel back as dicts, so the task payload is
+picklable and transport-agnostic.  A submission that asked for event
+streaming runs with an in-memory JSON-lines trace sink; the parsed
+records ride back with the manifest.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Sequence
+
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import Scenario
+
+__all__ = ["run_batch"]
+
+
+def run_batch(
+    payloads: Sequence[tuple[str, bool]],
+) -> list[dict[str, Any]]:
+    """Run ``(scenario_json, collect_events)`` pairs on this worker.
+
+    Returns one ``{"manifest", "events", "error"}`` dict per payload,
+    in order.  A failing scenario reports its error instead of killing
+    the rest of the batch.
+    """
+    out: list[dict[str, Any]] = []
+    for text, collect_events in payloads:
+        try:
+            scenario = Scenario.from_json(text)
+            if collect_events:
+                buf = io.StringIO()
+                manifest = run_scenario(scenario, trace_path=buf)
+                events = [
+                    json.loads(line)
+                    for line in buf.getvalue().splitlines()
+                    if line.strip()
+                ]
+            else:
+                manifest = run_scenario(scenario)
+                events = None
+            out.append({
+                "manifest": manifest.to_dict(),
+                "events": events,
+                "error": None,
+            })
+        except Exception as exc:  # per-submission containment
+            out.append({
+                "manifest": None,
+                "events": None,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+    return out

@@ -1,0 +1,125 @@
+"""ResultStore: persistence, atomicity, schema versioning."""
+
+import json
+
+import pytest
+
+from repro.execution import RESULT_SCHEMA, ResultStore, ResultStoreError
+from repro.execution.atomic import atomic_write_json
+from repro.scenario import run_scenario
+
+
+@pytest.fixture
+def manifest(tiny_scenario):
+    return run_scenario(tiny_scenario())
+
+
+def test_put_get_round_trip(tmp_path, manifest):
+    store = ResultStore(tmp_path / "results")
+    assert store.get(manifest.scenario_hash) is None
+    assert store.misses == 1
+    path = store.put(manifest)
+    assert path.is_file()
+    again = store.get(manifest.scenario_hash)
+    assert store.hits == 1
+    assert again.to_json() == manifest.to_json()
+    assert again.metrics_hash() == manifest.metrics_hash()
+    assert manifest.scenario_hash in store
+    assert list(store.keys()) == [manifest.scenario_hash]
+    assert len(store) == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, manifest):
+    store = ResultStore(tmp_path)
+    store.put(manifest)
+    store.path_for(manifest.scenario_hash).write_text("{torn")
+    assert store.get(manifest.scenario_hash) is None
+
+
+def test_unknown_schema_raises_with_keys(tmp_path, manifest):
+    store = ResultStore(tmp_path)
+    path = store.put(manifest)
+    data = json.loads(path.read_text())
+    data["schema"] = RESULT_SCHEMA + 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ResultStoreError) as err:
+        store.get(manifest.scenario_hash)
+    msg = str(err.value)
+    assert str(RESULT_SCHEMA + 99) in msg
+    assert "manifest" in msg and "schema" in msg  # the entry's keys
+    assert str(store.root) in msg
+
+
+def test_missing_schema_field_raises(tmp_path, manifest):
+    store = ResultStore(tmp_path)
+    path = store.put(manifest)
+    path.write_text(json.dumps({"manifest": manifest.to_dict()}))
+    with pytest.raises(ResultStoreError) as err:
+        store.get(manifest.scenario_hash)
+    assert "None" in str(err.value)
+
+
+def test_discard(tmp_path, manifest):
+    store = ResultStore(tmp_path)
+    store.put(manifest)
+    assert store.discard(manifest.scenario_hash)
+    assert not store.discard(manifest.scenario_hash)
+    assert manifest.scenario_hash not in store
+
+
+def test_default_store_under_cache_dir(isolated_cache):
+    store = ResultStore.default()
+    assert store.root == isolated_cache / "results"
+
+
+def test_atomic_write_leaves_no_temp_debris(tmp_path):
+    target = tmp_path / "deep" / "entry.json"
+    atomic_write_json(target, {"a": 1})
+    assert json.loads(target.read_text()) == {"a": 1}
+    # Unserialisable payload: write fails, temp file cleaned up, the
+    # previous published value untouched.
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert json.loads(target.read_text()) == {"a": 1}
+    assert list(target.parent.iterdir()) == [target]
+
+
+def test_atomic_write_concurrent_writers_never_torn(tmp_path):
+    """Concurrent writers race benignly: every observable state of the
+    file is one writer's complete document."""
+    import threading
+
+    target = tmp_path / "entry.json"
+    payloads = [{"writer": i, "blob": "x" * 4096} for i in range(8)]
+    stop = threading.Event()
+    torn: list[Exception] = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                data = json.loads(target.read_text())
+                assert data["blob"] == "x" * 4096
+            except FileNotFoundError:
+                continue
+            except (ValueError, AssertionError) as exc:  # pragma: no cover
+                torn.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    writers = [
+        threading.Thread(
+            target=lambda p=p: [atomic_write_json(target, p)
+                                for _ in range(20)]
+        )
+        for p in payloads
+    ]
+    for w in writers:
+        w.start()
+    for w in writers:
+        w.join()
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not torn
+    assert json.loads(target.read_text())["writer"] in range(8)

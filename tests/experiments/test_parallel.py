@@ -6,15 +6,15 @@ import pickle
 import pytest
 
 from repro.config import default_cluster
-from repro.experiments import figures
-from repro.experiments import harness
-from repro.experiments.parallel import (
+from repro.execution.pool import (
     RunSpec,
     active_jobs,
     execute,
     parallel_jobs,
     run_specs,
 )
+from repro.experiments import figures
+from repro.experiments import harness
 from repro.experiments.report import result_payload
 
 
@@ -60,6 +60,22 @@ def test_parallel_jobs_nested_keeps_outer_pool():
     assert active_jobs() == 1
 
 
+def test_experiments_parallel_is_a_deprecation_shim():
+    """The old module keeps working but warns, and every symbol is the
+    same object as its repro.execution.pool home."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.experiments.parallel", None)
+    with pytest.warns(DeprecationWarning, match="repro.execution"):
+        shim = importlib.import_module("repro.experiments.parallel")
+    import repro.execution.pool as pool
+
+    for name in ("RunSpec", "active_jobs", "default_jobs", "execute",
+                 "parallel_jobs", "run_specs"):
+        assert getattr(shim, name) is getattr(pool, name)
+
+
 # ------------------------------------------------- figure-level determinism
 def test_figure_parallel_output_is_byte_identical():
     """The acceptance property: a figure regenerated through the worker
@@ -74,6 +90,7 @@ def test_figure_parallel_output_is_byte_identical():
 # ------------------------------------------------------- calibration cache
 @pytest.fixture
 def calib_env(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     monkeypatch.setenv("IBIS_CACHE_DIR", str(tmp_path))
     monkeypatch.delenv("IBIS_NO_CALIB_CACHE", raising=False)
     saved = dict(harness._CONTROLLERS)

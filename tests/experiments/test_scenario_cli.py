@@ -32,6 +32,33 @@ def test_scenario_sweep_expands_grid(capsys):
     assert "fig6_isolation[workload.jobs.0.io_weight=32]" in out
 
 
+def test_scenario_rerun_is_served_from_the_store(capsys):
+    path = EXAMPLES / "fig6_isolation.json"
+    assert main(["scenario", str(path)]) == 0
+    first = capsys.readouterr().out
+    assert "0 hit(s), 1 run(s)" in first
+    assert main(["scenario", str(path)]) == 0
+    second = capsys.readouterr().out
+    assert "1 hit(s), 0 run(s)" in second
+    # The cached rerun reports identical metrics.
+    metrics = [ln for ln in first.splitlines() if "metrics_hash" in ln]
+    assert metrics and metrics == [
+        ln for ln in second.splitlines() if "metrics_hash" in ln
+    ]
+
+
+def test_scenario_no_store_flag_always_runs(capsys):
+    path = EXAMPLES / "fig6_isolation.json"
+    for _ in range(2):
+        assert main(["scenario", str(path), "--no-store"]) == 0
+        assert "result store" not in capsys.readouterr().out
+
+
+def test_serve_mode_rejects_experiment_names():
+    with pytest.raises(SystemExit):
+        main(["serve", "fig6"])
+
+
 def test_scenario_mode_needs_a_file():
     with pytest.raises(SystemExit):
         main(["scenario"])

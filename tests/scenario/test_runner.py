@@ -66,6 +66,40 @@ def test_manifest_round_trips():
     assert json.loads(man.to_json())["metrics_hash"] == man.metrics_hash()
 
 
+def test_manifest_from_dict_preserves_metrics_hash():
+    man = run_scenario(_isolation())
+    # to_dict embeds the derived metrics_hash; from_dict must absorb it
+    # (it is not a constructor field) and reproduce it bit-for-bit.
+    again = RunManifest.from_dict(man.to_dict())
+    assert again.metrics_hash() == man.metrics_hash()
+    assert again.to_json() == man.to_json()
+    # Series survive the tuple→list→tuple round trip.
+    assert again.series == man.series
+
+
+def test_manifest_from_dict_rejects_unknown_fields():
+    man = run_scenario(_isolation())
+    payload = man.to_dict()
+    payload["shiny_new_field"] = 1
+    with pytest.raises(ValueError) as err:
+        RunManifest.from_dict(payload)
+    msg = str(err.value)
+    assert "shiny_new_field" in msg
+    assert "scenario_hash" in msg  # lists the known fields
+
+
+def test_runner_accepts_file_like_trace_target():
+    import io
+
+    buf = io.StringIO()
+    man = ScenarioRunner(trace_path=buf).run(_isolation())
+    # A stream target is a side channel, not a recorded artefact.
+    assert man.trace_path is None
+    lines = buf.getvalue().splitlines()
+    assert lines and all(json.loads(ln) for ln in lines)
+    assert man.metrics_hash() == run_scenario(_isolation()).metrics_hash()
+
+
 def test_manifest_accessors():
     man = run_scenario(_isolation())
     assert man.runtime("wordcount") > 0

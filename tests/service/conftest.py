@@ -1,0 +1,61 @@
+import itertools
+import pathlib
+
+import pytest
+
+from repro.config import GB, default_cluster
+from repro.core import PolicySpec
+from repro.execution import ResultStore
+from repro.scenario import single_app
+from repro.service import SchedulerService, ServiceClient
+
+EXAMPLES = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+)
+
+_names = itertools.count()
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield tmp_path / "cache"
+
+
+@pytest.fixture
+def tiny_scenario():
+    """A fast single-app run (1/2048 scale, ~centiseconds of work)."""
+    def build(seed: int = 20160531, name: str = "tiny"):
+        config = default_cluster(scale=1.0 / 2048, seed=seed)
+        return single_app(
+            config, PolicySpec.native(), "teravalidate",
+            name=name, params={"input_path": "/in/x"},
+            preloads=(("/in/x", 25 * GB),), max_cores=48,
+        )
+    return build
+
+
+@pytest.fixture
+def inproc_address():
+    """A unique inproc:// name per test (the registry is global)."""
+    return f"inproc://test-{next(_names)}"
+
+
+@pytest.fixture
+def service(tmp_path, inproc_address):
+    """A started scheduler (warm single thread, persistent store) plus a
+    factory for clients against it; everything torn down afterwards."""
+    svc = SchedulerService(store=ResultStore(tmp_path / "results"))
+    svc.start(inproc_address)
+    clients = []
+
+    def client() -> ServiceClient:
+        c = ServiceClient(inproc_address)
+        clients.append(c)
+        return c
+
+    svc.client = client
+    yield svc
+    for c in clients:
+        c.close()
+    svc.stop()
