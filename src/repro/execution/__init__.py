@@ -16,7 +16,11 @@ long-running scenario service (:mod:`repro.service`) — routes through
 See DESIGN.md ("Execution core & scenario service").
 """
 
-from repro.execution.atomic import atomic_write_json
+from repro.execution.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
 from repro.execution.core import ExecutionCore, execute_scenarios
 from repro.execution.pool import (
     RunSpec,
@@ -26,11 +30,17 @@ from repro.execution.pool import (
     parallel_jobs,
     run_specs,
 )
-from repro.execution.store import RESULT_SCHEMA, ResultStore, ResultStoreError
+from repro.execution.store import (
+    RESULT_SCHEMA,
+    EvictionReport,
+    ResultStore,
+    ResultStoreError,
+)
 from repro.execution.submission import Submission, as_submission, cluster_key
 
 __all__ = [
     "RESULT_SCHEMA",
+    "EvictionReport",
     "ExecutionCore",
     "ResultStore",
     "ResultStoreError",
@@ -39,10 +49,12 @@ __all__ = [
     "active_jobs",
     "as_submission",
     "atomic_write_json",
+    "atomic_write_text",
     "cluster_key",
     "default_jobs",
     "execute",
     "execute_scenarios",
+    "fsync_dir",
     "parallel_jobs",
     "run_specs",
 ]

@@ -31,13 +31,24 @@ opts out).
 
 Or start the long-running scenario service and submit from a client::
 
-    python -m repro.experiments.run serve --address tcp://127.0.0.1:8642 --jobs 4
+    python -m repro.experiments.run serve --address tcp://127.0.0.1:8642 --jobs 4 \\
+        --max-queue 64 --retries 2 --timeout 300 --store-max-bytes 500000000
 
     # elsewhere:
     from repro.service import ServiceClient
     with ServiceClient("tcp://127.0.0.1:8642") as client:
         sub = client.submit("examples/scenarios/latency_breakdown.json")
         manifest = client.result(sub)
+
+The service journals every accepted submission to an fsynced
+write-ahead log (``--journal``; default under ``$REPRO_CACHE_DIR``), so
+a killed scheduler restarted over the same journal recovers and
+finishes its queued work.  Trim the persistent result store from the
+shell::
+
+    python -m repro.experiments.run store stats
+    python -m repro.experiments.run store gc --max-bytes 100000000
+    python -m repro.experiments.run store gc --max-entries 500 --dry-run
 
 Parallelism (``--jobs N``; 0 = all cores):
 
@@ -212,26 +223,85 @@ def run_scenarios(args, parser) -> int:
     return 0
 
 
+def _journal_for(args):
+    """The submission journal ``serve`` runs over: ``auto`` (default)
+    puts it under the shared cache root, ``off`` disables it, anything
+    else is a path."""
+    from repro.service import SubmissionJournal
+
+    if args.journal == "off":
+        return None
+    if args.journal == "auto":
+        return SubmissionJournal.default()
+    return SubmissionJournal(args.journal)
+
+
 def run_serve(args, parser) -> int:
     """``run serve`` — the long-running scenario service: an async
     scheduler accepting submissions over ``--address``, fanning them
-    out to warm workers through the execution core."""
-    from repro.service import SchedulerService
+    out to warm workers through the execution core, journaling every
+    accepted submission so a restart recovers queued work."""
+    from repro.service import RetryPolicy, SchedulerService
 
+    journal = _journal_for(args)
     service = SchedulerService(
         store=_result_store(args),
         jobs=args.jobs,
+        journal=journal,
+        retry=RetryPolicy(
+            max_attempts=max(1, args.retries + 1),
+            timeout=args.timeout if args.timeout > 0 else None,
+        ),
+        max_queue=args.max_queue,
+        store_max_bytes=args.store_max_bytes,
     )
     try:
         service.start(args.address)
         print(f"scenario service listening on {service.address} "
               f"(jobs={args.jobs}, "
-              f"store={'off' if service.core.store is None else service.core.store.root})")
+              f"store={'off' if service.core.store is None else service.core.store.root}, "
+              f"journal={'off' if journal is None else journal.path}, "
+              f"max_queue={args.max_queue or 'unbounded'}, "
+              f"retries={args.retries}, "
+              f"timeout={args.timeout or 'none'})",
+              flush=True)
+        if service.stats["recovered"]:
+            print(f"(journal replay: {service.stats['recovered']} "
+                  f"submission(s) recovered)", flush=True)
         service.join()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         service.stop()
+    return 0
+
+
+def run_store(args, parser) -> int:
+    """``run store gc`` — trim the persistent result store to a byte
+    and/or entry budget, least-recently-used first (reads refresh an
+    entry's age); ``run store stats`` reports its size."""
+    from repro.execution import ResultStore
+
+    if len(args.names) != 1 or args.names[0] not in ("gc", "stats"):
+        parser.error("store mode: use 'store gc [--max-bytes N] "
+                     "[--max-entries N] [--dry-run]' or 'store stats'")
+    store = ResultStore.default()
+    if args.names[0] == "stats":
+        entries = store.entries()
+        print(f"result store {store.root}: {len(entries)} entries, "
+              f"{sum(s for _, _, s in entries)} bytes")
+        return 0
+    if args.max_bytes is None and args.max_entries is None:
+        parser.error("store gc needs --max-bytes and/or --max-entries")
+    report = store.evict(max_bytes=args.max_bytes,
+                         max_entries=args.max_entries,
+                         dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"result store {store.root}: {verb} {len(report.removed)} "
+          f"entries ({report.freed_bytes} bytes); keeping "
+          f"{report.kept_entries} entries ({report.kept_bytes} bytes)")
+    for content_hash in report.removed:
+        print(f"  - run-{content_hash}.json")
     return 0
 
 
@@ -243,7 +313,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("names", nargs="*",
                         help="experiment names (e.g. fig6 tab3), 'all', "
                              "'scenario FILE.json...' to run scenario files, "
-                             "or 'serve' to start the scenario service")
+                             "'serve' to start the scenario service, or "
+                             "'store gc|stats' to manage the result store")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="PATH=V1,V2,...",
@@ -267,6 +338,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve mode: transport address to listen on "
                              "(tcp://host:port or inproc://name; default "
                              "%(default)s)")
+    parser.add_argument("--journal", default="auto", metavar="PATH",
+                        help="serve mode: submission journal path — 'auto' "
+                             "(default, $REPRO_CACHE_DIR/service/"
+                             "journal.jsonl), 'off', or a file path; a "
+                             "restarted scheduler replays it and finishes "
+                             "incomplete submissions")
+    parser.add_argument("--max-queue", type=int, default=0, metavar="N",
+                        help="serve mode: bounded admission — reject "
+                             "submits with a structured 'busy' reply once "
+                             "N submissions are queued (0 = unbounded)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="serve mode: retries after an infrastructure "
+                             "failure (worker crash/timeout) before a "
+                             "submission is quarantined (default 2)")
+    parser.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                        help="serve mode: per-batch execution timeout in "
+                             "seconds; an overrunning worker is replaced "
+                             "and its submissions retried (0 = no timeout)")
+    parser.add_argument("--store-max-bytes", type=int, default=0,
+                        metavar="N",
+                        help="serve mode: evict least-recently-used store "
+                             "entries once the store exceeds N bytes "
+                             "(0 = no budget)")
+    parser.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                        help="store gc: byte budget to trim the store to")
+    parser.add_argument("--max-entries", type=int, default=None, metavar="N",
+                        help="store gc: entry-count budget")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="store gc: report what would be evicted "
+                             "without deleting")
     parser.add_argument("--profile", action="store_true",
                         help="run each experiment under cProfile; writes "
                              "<name>.prof and a top-20 <name>.hotspots.txt "
@@ -288,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("serve mode takes no experiment names "
                          "(submit scenarios through the client)")
         return run_serve(args, parser)
+    if args.names and args.names[0] == "store":
+        args.names = args.names[1:]
+        return run_store(args, parser)
     if args.sweep:
         parser.error("--sweep only applies to scenario mode "
                      "(run scenario FILE.json --sweep ...)")

@@ -26,8 +26,20 @@ in-process::
 See DESIGN.md ("Execution core & scenario service").
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+)
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    JournalEntry,
+    JournalError,
+    SubmissionJournal,
+)
 from repro.service.protocol import STATES, decode, encode
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import SchedulerService, SubmissionRecord
 from repro.service.transport import (
     ClientChannel,
@@ -41,13 +53,20 @@ from repro.service.transport import (
 from repro.service.worker import run_batch
 
 __all__ = [
+    "JOURNAL_SCHEMA",
     "STATES",
     "ClientChannel",
+    "JournalEntry",
+    "JournalError",
     "Listener",
+    "RetryPolicy",
     "SchedulerService",
     "ServerChannel",
+    "ServiceBusy",
     "ServiceClient",
     "ServiceError",
+    "ServiceTimeout",
+    "SubmissionJournal",
     "SubmissionRecord",
     "connect",
     "decode",

@@ -21,17 +21,36 @@ handed to ``on_event`` (they follow
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Any, Callable, Mapping, Optional, Union
 
 from repro.scenario.runner import RunManifest
 from repro.scenario.spec import Scenario, load_scenario
+from repro.service.protocol import ServiceTimeout
 from repro.service.transport import ClientChannel, connect
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceBusy", "ServiceClient", "ServiceError", "ServiceTimeout"]
 
 
 class ServiceError(RuntimeError):
     """The scheduler reported an error (bad request or failed run)."""
+
+
+class ServiceBusy(ServiceError):
+    """The scheduler's bounded submission queue is full.
+
+    Raised by :meth:`ServiceClient.submit` once ``max_busy_wait`` is
+    exhausted; carries the scheduler's ``busy`` reply as ``reply``
+    (queue depth, bound, suggested retry delay).
+    """
+
+    def __init__(self, reply: dict):
+        super().__init__(
+            f"scheduler queue is full "
+            f"({reply.get('queue_depth')}/{reply.get('max_queue')}); "
+            f"retry after {reply.get('retry_after')}s"
+        )
+        self.reply = reply
 
 
 def _as_scenario_dict(
@@ -52,9 +71,11 @@ class ServiceClient:
         self._chan: ClientChannel = connect(address)
 
     # ------------------------------------------------------------ plumbing
-    def _request(self, msg: dict, expect: str,
+    def _request(self, msg: dict, expect: "str | tuple[str, ...]",
                  on_event: Optional[Callable[[dict], None]] = None,
                  timeout: Optional[float] = None) -> dict:
+        if isinstance(expect, str):
+            expect = (expect,)
         self._chan.send(msg)
         while True:
             reply = self._chan.recv(timeout=timeout)
@@ -65,7 +86,7 @@ class ServiceClient:
                 if on_event is not None:
                     on_event(reply["record"])
                 continue
-            if op == expect:
+            if op in expect:
                 return reply
             raise ServiceError(f"unexpected reply {op!r} (wanted {expect!r})")
 
@@ -74,14 +95,30 @@ class ServiceClient:
         self,
         scenario: Union[Scenario, Mapping[str, Any], str, pathlib.Path],
         stream: bool = False,
+        max_busy_wait: Optional[float] = None,
     ) -> str:
-        """Submit a scenario; returns its submission id immediately."""
-        reply = self._request(
-            {"op": "submit", "scenario": _as_scenario_dict(scenario),
-             "stream": bool(stream)},
-            expect="submitted",
-        )
-        return reply["sub_id"]
+        """Submit a scenario; returns its submission id.
+
+        When the scheduler runs with a bounded queue it may answer
+        ``busy`` instead of admitting the submission; the client then
+        waits the suggested ``retry_after`` and re-offers — the tcp
+        "delay" side of the back-pressure contract.  ``max_busy_wait``
+        bounds the total time spent re-offering (``None`` = keep
+        trying; ``0`` = raise :class:`ServiceBusy` on the first
+        rejection).
+        """
+        msg = {"op": "submit", "scenario": _as_scenario_dict(scenario),
+               "stream": bool(stream)}
+        waited = 0.0
+        while True:
+            reply = self._request(msg, expect=("submitted", "busy"))
+            if reply["op"] == "submitted":
+                return reply["sub_id"]
+            retry_after = float(reply.get("retry_after", 0.05))
+            if max_busy_wait is not None and waited + retry_after > max_busy_wait:
+                raise ServiceBusy(reply)
+            time.sleep(retry_after)
+            waited += retry_after
 
     def status(self, sub_id: str) -> dict[str, Any]:
         """Snapshot: state (queued/running/done/failed), cache flags."""
@@ -97,7 +134,9 @@ class ServiceClient:
         """Block until the submission finishes; returns its manifest.
 
         Raises :class:`ServiceError` if the run failed.  ``timeout``
-        bounds each wait on the channel, not the whole run.
+        bounds each wait on the channel, not the whole run; an expiry
+        raises :class:`~repro.service.protocol.ServiceTimeout` (and the
+        channel should then be closed, not reused).
         """
         reply = self._request({"op": "result", "sub_id": sub_id},
                               expect="result", on_event=on_event,

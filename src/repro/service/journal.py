@@ -1,0 +1,288 @@
+"""Durable submission journal: the scheduler's write-ahead log.
+
+An append-only JSON-lines file (by default
+``$REPRO_CACHE_DIR/service/journal.jsonl``) recording every
+non-streamed submission the scheduler accepted for execution and each
+lifecycle transition it went through::
+
+    {"kind": "journal", "schema": 1}
+    {"kind": "submit", "sub_id": "sub-000001", "name": ..., "client": ...,
+     "content_hash": ..., "cluster": ..., "scenario": "<canonical json>"}
+    {"kind": "start",  "sub_id": "sub-000001", "attempt": 1}
+    {"kind": "done",   "sub_id": "sub-000001", "cached": false}
+    {"kind": "failed", "sub_id": "sub-000001", "error": ..., "attempts": 3}
+
+Every append is flushed and fsynced before the scheduler replies to the
+client, so an acknowledged submission survives process SIGKILL *and*
+power loss (the journal directory itself is fsynced when the file is
+created or compacted — see :mod:`repro.execution.atomic`).
+
+On :meth:`SchedulerService.start` the scheduler calls :meth:`replay`:
+entries whose last transition is not terminal (``done``/``failed``) are
+re-enqueued — their canonical scenario JSON rides in the ``submit``
+record, so recovery needs nothing but the journal and re-runs produce
+bit-identical manifests (results already in the
+:class:`~repro.execution.store.ResultStore` are answered from it
+instead).  A torn final line — the tail a crash mid-append leaves — is
+tolerated and dropped; a torn line *followed by intact ones* means real
+corruption and raises :class:`JournalError`, as does an unknown schema
+version.
+
+The live file is compacted (atomically rewritten with only the header
+and any still-incomplete submissions) whenever every journaled
+submission has reached a terminal state, so the log stays proportional
+to in-flight work, not service lifetime.
+
+Streamed submissions are *not* journaled: their event stream is a side
+effect owed to a live connection that a restart cannot resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.execution.atomic import atomic_write_text, fsync_dir
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "JournalError",
+    "SubmissionJournal",
+]
+
+#: Journal line-format version; bump when record shapes change.
+JOURNAL_SCHEMA = 1
+
+#: Transitions after which a submission needs no recovery.
+_TERMINAL = frozenset({"done", "failed"})
+
+
+class JournalError(RuntimeError):
+    """The journal exists but cannot be trusted by this build."""
+
+
+@dataclass
+class JournalEntry:
+    """One journaled submission's replayed state."""
+
+    sub_id: str
+    name: str
+    content_hash: str
+    cluster: str
+    scenario_json: str
+    client: str = "journal"
+    attempts: int = 0
+    state: str = "queued"
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def submit_record(self) -> dict[str, Any]:
+        return {
+            "kind": "submit",
+            "sub_id": self.sub_id,
+            "name": self.name,
+            "client": self.client,
+            "content_hash": self.content_hash,
+            "cluster": self.cluster,
+            "scenario": self.scenario_json,
+        }
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`SubmissionJournal.replay` found."""
+
+    entries: list[JournalEntry] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def incomplete(self) -> list[JournalEntry]:
+        return [e for e in self.entries if not e.terminal]
+
+
+class SubmissionJournal:
+    """Append-only JSON-lines WAL over one file.
+
+    Not thread-safe by itself — the scheduler serialises all access on
+    its event loop; ``replay`` may additionally be called before the
+    loop exists (e.g. by offline tooling).
+    """
+
+    def __init__(self, path: "pathlib.Path | str"):
+        self.path = pathlib.Path(path)
+        self._fh = None
+        #: sub_ids journaled but not yet terminal (drives compaction).
+        self._live: dict[str, JournalEntry] = {}
+        self.appended = 0
+        self.compactions = 0
+
+    @classmethod
+    def default(cls) -> "SubmissionJournal":
+        """The journal under the shared cache root
+        (``$REPRO_CACHE_DIR/service/journal.jsonl``)."""
+        from repro.experiments.harness import calibration_cache_dir
+
+        return cls(calibration_cache_dir() / "service" / "journal.jsonl")
+
+    # ------------------------------------------------------------- replay
+    def replay(self) -> JournalReplay:
+        """Read the journal back into per-submission states.
+
+        Missing file ⇒ empty replay.  The final line may be torn (a
+        crash mid-append); anything torn before that raises
+        :class:`JournalError`, as does a wrong schema header.
+        """
+        out = JournalReplay()
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return out
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}")
+        by_id: dict[str, JournalEntry] = {}
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict) or "kind" not in rec:
+                    raise ValueError("not a journal record object")
+            except ValueError as exc:
+                if i == len(lines) - 1:
+                    out.torn_tail = True  # crash mid-append: drop the tail
+                    break
+                raise JournalError(
+                    f"journal {self.path} line {i + 1} is corrupt (and not "
+                    f"the final line — this is not a torn append): {exc}"
+                )
+            self._apply(rec, by_id, i)
+        out.entries = list(by_id.values())
+        self._live = {e.sub_id: e for e in out.entries if not e.terminal}
+        return out
+
+    def _apply(self, rec: dict, by_id: dict[str, JournalEntry],
+               lineno: int) -> None:
+        kind = rec.get("kind")
+        if kind == "journal":
+            schema = rec.get("schema")
+            if schema != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"journal {self.path} has schema {schema!r} but this "
+                    f"build reads schema {JOURNAL_SCHEMA}; move the file "
+                    f"aside to start fresh"
+                )
+            return
+        if kind == "submit":
+            by_id[rec["sub_id"]] = JournalEntry(
+                sub_id=rec["sub_id"],
+                name=rec.get("name", ""),
+                content_hash=rec["content_hash"],
+                cluster=rec.get("cluster", ""),
+                scenario_json=rec["scenario"],
+                client=rec.get("client", "journal"),
+            )
+            return
+        entry = by_id.get(rec.get("sub_id", ""))
+        if entry is None:
+            raise JournalError(
+                f"journal {self.path} line {lineno + 1}: {kind!r} for "
+                f"unknown submission {rec.get('sub_id')!r}"
+            )
+        if kind == "start":
+            entry.attempts = int(rec.get("attempt", entry.attempts + 1))
+            entry.state = "running"
+        elif kind == "done":
+            entry.state = "done"
+        elif kind == "failed":
+            entry.state = "failed"
+            entry.error = rec.get("error")
+        else:
+            raise JournalError(
+                f"journal {self.path} line {lineno + 1}: unknown record "
+                f"kind {kind!r}"
+            )
+
+    # ------------------------------------------------------------- append
+    def _open(self):
+        if self._fh is None:
+            fresh = not self.path.exists()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._write({"kind": "journal", "schema": JOURNAL_SCHEMA})
+                fsync_dir(self.path.parent)
+        return self._fh
+
+    def _write(self, rec: dict[str, Any]) -> None:
+        fh = self._open()
+        fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.appended += 1
+
+    def record_submit(self, entry: JournalEntry) -> None:
+        self._write(entry.submit_record())
+        self._live[entry.sub_id] = entry
+
+    def record_start(self, sub_id: str, attempt: int) -> None:
+        self._write({"kind": "start", "sub_id": sub_id, "attempt": attempt})
+        live = self._live.get(sub_id)
+        if live is not None:
+            live.attempts = attempt
+            live.state = "running"
+
+    def record_done(self, sub_id: str, cached: bool = False) -> None:
+        self._write({"kind": "done", "sub_id": sub_id, "cached": cached})
+        self._live.pop(sub_id, None)
+        self._maybe_compact()
+
+    def record_failed(self, sub_id: str, error: str, attempts: int) -> None:
+        self._write({
+            "kind": "failed", "sub_id": sub_id,
+            "error": error, "attempts": attempts,
+        })
+        self._live.pop(sub_id, None)
+        self._maybe_compact()
+
+    # ---------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        if not self._live and self.path.exists():
+            self.compact()
+
+    def compact(self) -> None:
+        """Atomically rewrite the journal to the header plus the still
+        incomplete submissions (normally: just the header)."""
+        lines = [json.dumps({"kind": "journal", "schema": JOURNAL_SCHEMA},
+                            sort_keys=True)]
+        for entry in self._live.values():
+            lines.append(json.dumps(entry.submit_record(), sort_keys=True))
+            if entry.attempts:
+                lines.append(json.dumps(
+                    {"kind": "start", "sub_id": entry.sub_id,
+                     "attempt": entry.attempts},
+                    sort_keys=True,
+                ))
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self.compactions += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SubmissionJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -16,7 +16,15 @@ Client → scheduler ops:
 Scheduler → client ops:
 
 ``submitted`` ``{"op": "submitted", "sub_id", "content_hash", "state"}``
-``status``    ``{"op": "status", "sub_id", "state", "cached", ...}``
+``busy``      ``{"op": "busy", "queue_depth", "max_queue", "retry_after"}``
+              (bounded admission: the submission queue is full; the
+              client should re-submit after ``retry_after`` seconds —
+              :meth:`~repro.service.client.ServiceClient.submit` does
+              this automatically)
+``status``    ``{"op": "status", "sub_id", "state", "cached",
+              "attempts", ...}`` (a retried submission also carries
+              ``retries``: the backoff schedule it sat out, and a
+              quarantined one ``quarantined: true``)
 ``event``     ``{"op": "event", "sub_id", "record": {...}}`` (streamed
               before the result when the submission asked for events;
               records follow :data:`repro.telemetry.trace.TRACE_SCHEMA`)
@@ -32,6 +40,7 @@ from typing import Any
 
 __all__ = [
     "STATES",
+    "ServiceTimeout",
     "decode",
     "encode",
     "error_message",
@@ -39,6 +48,17 @@ __all__ = [
 
 #: Submission lifecycle, in order.
 STATES = ("queued", "running", "done", "failed")
+
+
+class ServiceTimeout(TimeoutError):
+    """A client-side ``recv(timeout=...)`` expired with no reply.
+
+    Raised identically by every transport (the tcp socket timeout and
+    the inproc queue timeout both convert to this), so callers handle
+    one exception, not one per transport.  The pending reply is
+    abandoned — after a timeout the channel may be mid-message and
+    should be closed rather than reused.
+    """
 
 
 def encode(msg: dict[str, Any]) -> bytes:

@@ -1,0 +1,81 @@
+"""Execution guards for the scheduler: bounded retries with backoff.
+
+A scenario run can fail two ways, and the scheduler treats them
+differently:
+
+* **Scenario errors** — the run itself raised (bad workload, dies at
+  simulation time).  The simulator is deterministic, so re-running
+  reproduces the failure; these are terminal on the first attempt.
+* **Infrastructure failures** — the worker crashed, the pool broke, or
+  the batch exceeded its timeout.  These say nothing about the
+  scenario, so the scheduler retries them under a :class:`RetryPolicy`:
+  exponential backoff with deterministic jitter, then *quarantine*
+  (terminal ``failed`` with the last error and the full backoff
+  schedule in the submission's status) after ``max_attempts``.
+
+Jitter is deterministic: it is drawn from a :class:`random.Random`
+seeded from ``(seed, key, attempt)``, so the same submission retried
+after the same failures backs off on the same schedule in every run —
+tests and journal replays see identical timelines, while distinct
+submissions still de-synchronise (the point of jitter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a submission, and how long to wait.
+
+    ``max_attempts`` counts executions, not retries: ``3`` means one
+    initial attempt plus up to two retries before quarantine.
+    ``timeout`` bounds one batch execution in seconds (``None`` — the
+    default — never times out).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    timeout: "float | None" = None
+    seed: int = 20160531
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, key: str) -> float:
+        """Seconds to wait before retrying after failed ``attempt``
+        (1-based) of the submission identified by ``key``.
+
+        ``base_delay * backoff**(attempt-1)``, capped at ``max_delay``,
+        scaled by a deterministic jitter factor in
+        ``[1 - jitter, 1 + jitter)`` drawn from the seeded RNG.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.base_delay * self.backoff ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def schedule(self, key: str) -> list[float]:
+        """The full backoff schedule for ``key``: the delay after each
+        non-final attempt (what a quarantined submission waited)."""
+        return [self.delay(a, key) for a in range(1, self.max_attempts)]

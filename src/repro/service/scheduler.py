@@ -5,30 +5,61 @@ One asyncio event loop (running on its own thread once
 transports feed it the dict messages of
 :mod:`repro.service.protocol`.  A submission flows::
 
-    submit → dedup (content hash) → result-store lookup → queue
-          → batch (cluster key) → warm worker pool → store → client
+    submit → dedup (content hash) → result-store lookup → admission
+          → journal → queue (start-tag fair order)
+          → batch (cluster key) → warm worker pool → store → journal
+          → client
 
 * **Dedup** — a second live submission of the same scenario content
   hash attaches to the first's record instead of executing again.
 * **Store** — with a :class:`~repro.execution.store.ResultStore`, a
   previously-run scenario is answered straight from disk, never queued.
+* **Journal** — with a :class:`~repro.service.journal.SubmissionJournal`
+  every accepted (non-streamed) submission is written to an fsynced
+  write-ahead log before the client sees ``submitted``; on start the
+  journal is replayed and incomplete submissions re-enqueued (store
+  entries answer the already-finished ones), so a SIGKILLed scheduler
+  loses nothing it acknowledged.
+* **Admission & fairness** — with ``max_queue`` set, a submit that
+  would push the queue past the bound gets a structured ``busy`` reply
+  (the client re-offers after ``retry_after``).  Queued work drains in
+  start-tag fair order — the paper's SFQ applied to the service's own
+  front door: each connection is a flow with a virtual finish tag, so
+  one chatty client cannot starve the others no matter how fast it
+  submits.
 * **Batching** — queued submissions drain in waves; each wave is
   grouped by :func:`~repro.execution.submission.cluster_key`, one
   group per pool task, so identical-cluster scenarios share a warm
   worker (and its calibration) while distinct groups run concurrently.
+* **Guards** — a batch that dies for *infrastructure* reasons (worker
+  crash, broken pool, timeout) is retried per submission under the
+  :class:`~repro.service.retry.RetryPolicy`: exponential backoff with
+  deterministic jitter, each retry isolated in its own batch so one
+  poison submission cannot re-kill its siblings, quarantine (terminal
+  ``failed`` with the backoff schedule in the status) after
+  ``max_attempts``.  The supervisor replaces the crashed/wedged
+  executor instead of wedging the wave.  Deterministic *scenario*
+  errors fail on the first attempt — re-running a deterministic
+  simulator reproduces the error.
 * **Streaming** — a submission with ``stream`` set runs with telemetry
   capture; its bus records are sent to the client (``event`` messages)
   before the manifest.  Streamed submissions always execute — the
-  event stream is a side effect the store cannot replay.
+  event stream is a side effect the store cannot replay — and are not
+  journaled: the stream is owed to a live connection a restart cannot
+  resume.
 
 ``jobs <= 1`` runs batches on a single warm thread (deterministic, and
-what the in-process tests use); ``jobs > 1`` uses a process pool.
+what the in-process tests use); ``jobs > 1`` uses a process pool.  A
+timed-out thread worker is abandoned (its computation cannot be
+killed); a timed-out process worker is terminated — use processes when
+hard isolation matters.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -36,7 +67,9 @@ from typing import Any, Optional
 from repro.execution import ExecutionCore, ResultStore, cluster_key
 from repro.scenario.runner import RunManifest
 from repro.scenario.spec import Scenario
+from repro.service.journal import JournalEntry, SubmissionJournal
 from repro.service.protocol import error_message
+from repro.service.retry import RetryPolicy
 from repro.service.transport import Listener, ServerChannel, listen
 
 __all__ = ["SchedulerService", "SubmissionRecord"]
@@ -52,11 +85,22 @@ class SubmissionRecord:
     content_hash: str
     cluster: str
     stream: bool
+    client: str = "client-0"
     state: str = "queued"
     cached: bool = False
     manifest: Optional[dict] = None
     events: Optional[list] = None
     error: Optional[str] = None
+    journaled: bool = False
+    attempts: int = 0
+    #: one ``{"attempt", "delay", "error", "at"}`` per retry waited out
+    retries: list = field(default_factory=list)
+    quarantined: bool = False
+    #: fair-queuing start tag + FIFO tie-break
+    start_tag: float = 0.0
+    seq: int = 0
+    #: a retried submission runs in its own batch (poison isolation)
+    solo: bool = False
     done: asyncio.Event = field(default_factory=asyncio.Event)
 
     def status(self, sub_id: str) -> dict[str, Any]:
@@ -67,7 +111,12 @@ class SubmissionRecord:
             "content_hash": self.content_hash,
             "state": self.state,
             "cached": self.cached,
+            "attempts": self.attempts,
         }
+        if self.retries:
+            out["retries"] = list(self.retries)
+        if self.quarantined:
+            out["quarantined"] = True
         if self.error is not None:
             out["error"] = self.error
         return out
@@ -83,12 +132,26 @@ class SchedulerService:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         batching: bool = True,
+        journal: "SubmissionJournal | str | None" = None,
+        retry: Optional[RetryPolicy] = None,
+        max_queue: int = 0,
+        store_max_bytes: int = 0,
+        store_max_entries: int = 0,
+        busy_retry_after: float = 0.05,
     ):
         if core is not None and store is not None:
             raise ValueError("pass either a core or a store, not both")
         self.core = core if core is not None else ExecutionCore(store=store)
         self.jobs = max(1, int(jobs))
         self.batching = batching
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_queue = max(0, int(max_queue))  # 0 = unbounded
+        self.store_max_bytes = max(0, int(store_max_bytes))
+        self.store_max_entries = max(0, int(store_max_entries))
+        self.busy_retry_after = busy_retry_after
+        if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
+            journal = SubmissionJournal(journal)
+        self.journal: Optional[SubmissionJournal] = journal
         self.address: Optional[str] = None
 
         self._records: dict[str, SubmissionRecord] = {}
@@ -96,9 +159,16 @@ class SchedulerService:
         self._pending: list[SubmissionRecord] = []
         self._drain_task: Optional[asyncio.Task] = None
         self._next_id = 0
+        self._next_seq = 0
+        self._conn_count = 0
+        #: SFQ front door: global virtual time + per-client finish tags.
+        self._vtime = 0.0
+        self._client_finish: dict[str, float] = {}
         self.stats: dict[str, int] = {
             "submitted": 0, "cache_hits": 0, "deduplicated": 0,
             "executed": 0, "failed": 0, "batches": 0,
+            "recovered": 0, "retried": 0, "quarantined": 0,
+            "rejected": 0, "workers_replaced": 0, "evicted": 0,
         }
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -113,7 +183,8 @@ class SchedulerService:
     def start(self, address: str) -> "SchedulerService":
         """Bind ``address`` and serve from a background event loop;
         returns once the listener is live (``self.address`` is then the
-        bound address — useful with ``tcp://host:0``)."""
+        bound address — useful with ``tcp://host:0``) and any journal
+        has been replayed."""
         if self._thread is not None:
             raise RuntimeError("service already started")
         self._thread = threading.Thread(
@@ -134,7 +205,12 @@ class SchedulerService:
             self._thread.join()
 
     def stop(self) -> None:
-        """Stop serving: close the listener, drop the workers."""
+        """Stop serving: close the listener, drop the workers.
+
+        Queued and in-flight submissions are *not* waited for — with a
+        journal they are recorded as incomplete and a fresh scheduler
+        over the same journal finishes them.
+        """
         if self._loop is not None and self._stop_event is not None:
             loop, stop = self._loop, self._stop_event
             try:
@@ -155,21 +231,45 @@ class SchedulerService:
             loop.close()
             self._loop = None
 
+    def _make_executor(self):
+        if self.jobs > 1:
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        # One warm thread: deterministic, monkeypatchable — the
+        # in-process test/smoke configuration.
+        return ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-worker"
+        )
+
+    def _replace_executor(self) -> None:
+        """The worker supervisor: swap a crashed/wedged pool for a
+        fresh one so the wave keeps draining."""
+        old, self._executor = self._executor, self._make_executor()
+        self.stats["workers_replaced"] += 1
+        if old is None:
+            return
+        if isinstance(old, ProcessPoolExecutor):
+            # A wedged process ignores shutdown(); terminate it.
+            for proc in list(getattr(old, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        old.shutdown(wait=False, cancel_futures=True)
+
     async def _serve(self, address: str) -> None:
         self._stop_event = asyncio.Event()
         try:
             self._listener = await listen(address, self._handle_connection)
             self.address = self._listener.address
-            if self.jobs > 1:
-                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-            else:
-                # One warm thread: deterministic, monkeypatchable — the
-                # in-process test/smoke configuration.
-                self._executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="repro-worker"
-                )
+            self._executor = self._make_executor()
+            if self.journal is not None:
+                self._recover()
         except BaseException as exc:
             self._startup_error = exc
+            if self._listener is not None:
+                await self._listener.close()
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
             self._started.set()
             return
         self._started.set()
@@ -185,9 +285,56 @@ class SchedulerService:
             for task in doomed:
                 task.cancel()
             await asyncio.gather(*doomed, return_exceptions=True)
+            if self.journal is not None:
+                self.journal.close()
+
+    # ------------------------------------------------------------ recovery
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue incomplete submissions
+        (store entries answer the already-finished ones), compact the
+        terminal history away, resume the sub-id sequence."""
+        replay = self.journal.replay()
+        incomplete = replay.incomplete
+        self.journal.compact()
+        for entry in incomplete:
+            record = SubmissionRecord(
+                sub_id=entry.sub_id,
+                scenario_name=entry.name,
+                scenario_json=entry.scenario_json,
+                content_hash=entry.content_hash,
+                cluster=entry.cluster,
+                stream=False,
+                client=entry.client,
+                journaled=True,
+            )
+            try:
+                num = int(entry.sub_id.rsplit("-", 1)[-1])
+            except ValueError:
+                num = 0
+            self._next_id = max(self._next_id, num)
+            hit = None
+            if self.core.store is not None:
+                hit = self.core.store.get(entry.content_hash)
+            if hit is not None:
+                record.state, record.cached = "done", True
+                record.manifest = hit.to_dict()
+                record.done.set()
+                self.stats["cache_hits"] += 1
+                self.core.cache_hits += 1
+                self.journal.record_done(entry.sub_id, cached=True)
+            else:
+                self._tag(record)
+                self._pending.append(record)
+            self._records[entry.sub_id] = record
+            self._by_hash[entry.content_hash] = record
+            self.stats["recovered"] += 1
+        if self._pending:
+            self._kick_drain()
 
     # ------------------------------------------------------------- serving
     async def _handle_connection(self, chan: ServerChannel) -> None:
+        self._conn_count += 1
+        client_tag = f"client-{self._conn_count}"
         while True:
             msg = await chan.recv()
             if msg is None:
@@ -195,7 +342,7 @@ class SchedulerService:
             try:
                 op = msg.get("op")
                 if op == "submit":
-                    await self._op_submit(chan, msg)
+                    await self._op_submit(chan, msg, client_tag)
                 elif op == "status":
                     await chan.send(self._record_of(msg).status(msg["sub_id"]))
                 elif op == "result":
@@ -217,7 +364,17 @@ class SchedulerService:
             )
         return record
 
-    async def _op_submit(self, chan: ServerChannel, msg: dict) -> None:
+    def _tag(self, record: SubmissionRecord) -> None:
+        """Assign the SFQ start tag: max(virtual time, the client's
+        last finish tag); unit cost per submission."""
+        start = max(self._vtime, self._client_finish.get(record.client, 0.0))
+        self._client_finish[record.client] = start + 1.0
+        record.start_tag = start
+        self._next_seq += 1
+        record.seq = self._next_seq
+
+    async def _op_submit(self, chan: ServerChannel, msg: dict,
+                         client_tag: str) -> None:
         payload = msg.get("scenario")
         if not isinstance(payload, dict):
             raise ValueError("submit needs a scenario object")
@@ -229,15 +386,15 @@ class SchedulerService:
             None, Scenario.from_dict, payload
         )
         content_hash = scenario.content_hash()
-        self._next_id += 1
-        sub_id = f"sub-{self._next_id:06d}"
-        self.stats["submitted"] += 1
 
         record: Optional[SubmissionRecord] = None
         if not stream:
             # Live dedup: attach to an identical in-flight submission.
             prior = self._by_hash.get(content_hash)
             if prior is not None and prior.state != "failed":
+                self._next_id += 1
+                sub_id = f"sub-{self._next_id:06d}"
+                self.stats["submitted"] += 1
                 self.stats["deduplicated"] += 1
                 self._records[sub_id] = prior
                 await chan.send(self._submitted(sub_id, prior))
@@ -248,28 +405,60 @@ class SchedulerService:
                     None, self.core.store.get, content_hash
                 )
                 if hit is not None:
+                    self._next_id += 1
+                    sub_id = f"sub-{self._next_id:06d}"
+                    self.stats["submitted"] += 1
                     record = SubmissionRecord(
                         sub_id=sub_id, scenario_name=scenario.name,
                         scenario_json="", content_hash=content_hash,
                         cluster=cluster_key(scenario), stream=False,
+                        client=client_tag,
                         state="done", cached=True, manifest=hit.to_dict(),
                     )
                     record.done.set()
                     self.stats["cache_hits"] += 1
                     self.core.cache_hits += 1
+                    self._records[sub_id] = record
+                    self._by_hash[content_hash] = record
+                    await chan.send(self._submitted(sub_id, record))
+                    return
 
-        if record is None:
-            record = SubmissionRecord(
-                sub_id=sub_id,
-                scenario_name=scenario.name,
-                scenario_json=scenario.to_json(),
-                content_hash=content_hash,
-                cluster=cluster_key(scenario),
-                stream=stream,
-            )
-            self._pending.append(record)
-            if self._drain_task is None or self._drain_task.done():
-                self._drain_task = asyncio.create_task(self._drain())
+        # Bounded admission: the submission would join the queue — if
+        # the queue is full, push back instead of buffering unboundedly.
+        if self.max_queue and len(self._pending) >= self.max_queue:
+            self.stats["rejected"] += 1
+            await chan.send({
+                "op": "busy",
+                "queue_depth": len(self._pending),
+                "max_queue": self.max_queue,
+                "retry_after": self.busy_retry_after,
+            })
+            return
+
+        self._next_id += 1
+        sub_id = f"sub-{self._next_id:06d}"
+        self.stats["submitted"] += 1
+        record = SubmissionRecord(
+            sub_id=sub_id,
+            scenario_name=scenario.name,
+            scenario_json=scenario.to_json(),
+            content_hash=content_hash,
+            cluster=cluster_key(scenario),
+            stream=stream,
+            client=client_tag,
+        )
+        if self.journal is not None and not stream:
+            # WAL: fsynced before the client sees "submitted", so an
+            # acknowledged submission survives SIGKILL and power loss.
+            self.journal.record_submit(JournalEntry(
+                sub_id=sub_id, name=scenario.name,
+                content_hash=content_hash, cluster=record.cluster,
+                scenario_json=record.scenario_json, client=client_tag,
+            ))
+            record.journaled = True
+        self._tag(record)
+        self._pending.append(record)
+        self._kick_drain()
         self._records[sub_id] = record
         if not stream:
             self._by_hash[content_hash] = record
@@ -293,6 +482,7 @@ class SchedulerService:
             await chan.send({
                 "op": "result", "sub_id": sub_id, "state": "failed",
                 "error": record.error,
+                "quarantined": record.quarantined,
             })
             return
         if record.stream and record.events:
@@ -317,27 +507,43 @@ class SchedulerService:
             ),
             "jobs": self.jobs,
             "batching": self.batching,
+            "max_queue": self.max_queue,
             "address": self.address,
+            "journal": (str(self.journal.path)
+                        if self.journal is not None else None),
             "store": str(store.root) if store is not None else None,
             "store_hits": store.hits if store is not None else 0,
             "store_misses": store.misses if store is not None else 0,
+            "store_corrupt": store.corrupt if store is not None else 0,
         })
 
     # ----------------------------------------------------------- execution
+    def _kick_drain(self) -> None:
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.ensure_future(self._drain())
+
     async def _drain(self) -> None:
-        """Drain the queue in waves: group the current pending set by
-        cluster key, run the groups concurrently on the pool, repeat.
-        Submissions arriving mid-wave join the next wave — natural
-        batching under load, no timers (deterministic in tests)."""
+        """Drain the queue in waves: order the current pending set by
+        SFQ start tag (fair across clients), group it by cluster key,
+        run the groups concurrently on the pool, repeat.  Submissions
+        arriving mid-wave join the next wave — natural batching under
+        load, no timers (deterministic in tests)."""
         while self._pending:
             wave, self._pending = self._pending, []
-            if self.batching:
-                groups: dict[str, list[SubmissionRecord]] = {}
-                for record in wave:
-                    groups.setdefault(record.cluster, []).append(record)
-                batches = list(groups.values())
-            else:
-                batches = [[record] for record in wave]
+            wave.sort(key=lambda r: (r.start_tag, r.seq))
+            self._vtime = max(self._vtime,
+                              max(r.start_tag for r in wave))
+            batches: list[list[SubmissionRecord]] = []
+            groups: dict[str, list[SubmissionRecord]] = {}
+            for record in wave:
+                if record.solo or not self.batching:
+                    batches.append([record])
+                    continue
+                group = groups.get(record.cluster)
+                if group is None:
+                    groups[record.cluster] = group = []
+                    batches.append(group)
+                group.append(record)
             await asyncio.gather(
                 *(self._run_batch(batch) for batch in batches)
             )
@@ -347,23 +553,36 @@ class SchedulerService:
 
         for record in records:
             record.state = "running"
+            record.attempts += 1
+            if record.journaled:
+                self.journal.record_start(record.sub_id, record.attempts)
         self.stats["batches"] += 1
         payloads = [(r.scenario_json, r.stream) for r in records]
         loop = asyncio.get_running_loop()
+        fut = loop.run_in_executor(self._executor, run_batch, payloads)
         try:
-            results = await loop.run_in_executor(
-                self._executor, run_batch, payloads
+            if self.retry.timeout is not None:
+                results = await asyncio.wait_for(fut, self.retry.timeout)
+            else:
+                results = await fut
+        except asyncio.CancelledError:
+            raise
+        except asyncio.TimeoutError:
+            # The worker is wedged: replace it, retry the submissions.
+            self._replace_executor()
+            self._retry_or_quarantine(
+                records,
+                f"TimeoutError: batch exceeded {self.retry.timeout:g}s",
             )
-        except Exception as exc:  # pool died / shutdown race
-            for record in records:
-                record.state, record.error = "failed", str(exc)
-                self.stats["failed"] += 1
-                record.done.set()
+            return
+        except Exception as exc:  # pool died / worker crashed
+            self._replace_executor()
+            self._retry_or_quarantine(records, f"{type(exc).__name__}: {exc}")
             return
         for record, result in zip(records, results):
             if result["error"] is not None:
-                record.state, record.error = "failed", result["error"]
-                self.stats["failed"] += 1
+                # Deterministic scenario error: retrying reproduces it.
+                self._finish_failed(record, result["error"])
             else:
                 record.manifest = result["manifest"]
                 record.events = result["events"]
@@ -374,4 +593,59 @@ class SchedulerService:
                     self.core.store.put(
                         RunManifest.from_dict(record.manifest)
                     )
-            record.done.set()
+                if record.journaled:
+                    self.journal.record_done(record.sub_id)
+                record.done.set()
+        self._maybe_evict_store()
+
+    # -------------------------------------------------- guards & budgeting
+    def _retry_or_quarantine(self, records: list[SubmissionRecord],
+                             error: str) -> None:
+        """Infrastructure failure: back each submission off and requeue
+        it solo, or quarantine it once its attempts are spent."""
+        for record in records:
+            if record.attempts >= self.retry.max_attempts:
+                self._finish_failed(record, error, quarantined=True)
+                continue
+            delay = self.retry.delay(record.attempts, record.content_hash)
+            record.retries.append({
+                "attempt": record.attempts,
+                "delay": delay,
+                "error": error,
+                "at": time.time(),
+            })
+            record.state = "queued"
+            record.solo = True  # isolate: a poison sibling re-kills batches
+            self.stats["retried"] += 1
+            asyncio.ensure_future(self._requeue_after(record, delay))
+
+    async def _requeue_after(self, record: SubmissionRecord,
+                             delay: float) -> None:
+        await asyncio.sleep(delay)
+        self._tag(record)
+        self._pending.append(record)
+        self._kick_drain()
+
+    def _finish_failed(self, record: SubmissionRecord, error: str,
+                       quarantined: bool = False) -> None:
+        record.state, record.error = "failed", error
+        record.quarantined = quarantined
+        self.stats["failed"] += 1
+        if quarantined:
+            self.stats["quarantined"] += 1
+        if record.journaled:
+            self.journal.record_failed(record.sub_id, error, record.attempts)
+        record.done.set()
+
+    def _maybe_evict_store(self) -> None:
+        """Scheduler-triggered store budgeting: after a wave of fills,
+        trim the store back under its byte/entry budget (LRU)."""
+        store = self.core.store
+        if store is None or not (self.store_max_bytes
+                                 or self.store_max_entries):
+            return
+        report = store.evict(
+            max_bytes=self.store_max_bytes or None,
+            max_entries=self.store_max_entries or None,
+        )
+        self.stats["evicted"] += len(report.removed)

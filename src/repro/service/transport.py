@@ -24,7 +24,7 @@ import queue
 import socket
 from typing import Any, Awaitable, Callable, Optional
 
-from repro.service.protocol import decode, encode
+from repro.service.protocol import ServiceTimeout, decode, encode
 
 __all__ = [
     "ClientChannel",
@@ -73,7 +73,12 @@ class Listener:
 
 
 class ClientChannel:
-    """The client's side: blocking send/recv of dict messages."""
+    """The client's side: blocking send/recv of dict messages.
+
+    ``recv(timeout=...)`` raises
+    :class:`~repro.service.protocol.ServiceTimeout` when no reply
+    arrives in time — the same exception on every transport.
+    """
 
     def send(self, msg: dict) -> None:
         raise NotImplementedError
@@ -122,7 +127,13 @@ class _InProcClientChannel(ClientChannel):
         )
 
     def recv(self, timeout: Optional[float] = None) -> dict:
-        return self._server._to_client.get(timeout=timeout)
+        try:
+            return self._server._to_client.get(timeout=timeout)
+        except queue.Empty:
+            raise ServiceTimeout(
+                f"no reply from the scheduler within {timeout:g}s "
+                f"(inproc transport)"
+            ) from None
 
     def close(self) -> None:
         if self._closed:
@@ -229,7 +240,14 @@ class _TcpClientChannel(ClientChannel):
 
     def recv(self, timeout: Optional[float] = None) -> dict:
         self._sock.settimeout(timeout)
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except (socket.timeout, TimeoutError):
+            raise ServiceTimeout(
+                f"no reply from the scheduler within {timeout:g}s "
+                f"(tcp transport; the channel may be mid-message — "
+                f"close it rather than reusing it)"
+            ) from None
         if not line:
             raise ConnectionError("scheduler closed the connection")
         return decode(line)

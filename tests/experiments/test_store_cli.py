@@ -1,0 +1,55 @@
+"""The ``run store gc`` / ``run store stats`` CLI modes."""
+
+import os
+
+import pytest
+
+from repro.execution import ResultStore
+from repro.experiments.run import main
+
+
+def _seed_fake_entries(n: int, size: int = 100) -> ResultStore:
+    store = ResultStore.default()
+    for i in range(n):
+        path = store.path_for(f"hash-{i}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("x" * size)
+        os.utime(path, (1000 + i, 1000 + i))
+    return store
+
+
+def test_store_stats_reports_size(capsys):
+    store = _seed_fake_entries(3, size=50)
+    assert main(["store", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "3 entries, 150 bytes" in out
+    assert str(store.root) in out
+
+
+def test_store_gc_trims_to_budget(capsys):
+    store = _seed_fake_entries(4)
+    assert main(["store", "gc", "--max-entries", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 2 entries (200 bytes)" in out
+    assert "keeping 2 entries" in out
+    # Oldest-first: hash-0 and hash-1 were the coldest.
+    assert "run-hash-0.json" in out and "run-hash-1.json" in out
+    assert sorted(store.keys()) == ["hash-2", "hash-3"]
+
+
+def test_store_gc_dry_run_deletes_nothing(capsys):
+    store = _seed_fake_entries(3)
+    assert main(["store", "gc", "--max-bytes", "250", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "would evict 1 entries" in out
+    assert len(list(store.keys())) == 3
+
+
+def test_store_gc_requires_a_budget():
+    with pytest.raises(SystemExit):
+        main(["store", "gc"])
+
+
+def test_store_rejects_unknown_submode():
+    with pytest.raises(SystemExit):
+        main(["store", "prune"])

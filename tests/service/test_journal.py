@@ -1,0 +1,148 @@
+"""Submission journal: append, replay, torn tails, compaction."""
+
+import json
+
+import pytest
+
+from repro.service import JOURNAL_SCHEMA, JournalError, SubmissionJournal
+from repro.service.journal import JournalEntry
+
+
+def entry(i: int = 1, **kw) -> JournalEntry:
+    base = dict(
+        sub_id=f"sub-{i:06d}", name=f"scn-{i}",
+        content_hash=f"hash-{i}", cluster="clu-1",
+        scenario_json=json.dumps({"name": f"scn-{i}"}),
+        client="client-1",
+    )
+    base.update(kw)
+    return JournalEntry(**base)
+
+
+def lines_of(path):
+    return [json.loads(line) for line in
+            path.read_text().splitlines() if line.strip()]
+
+
+def test_round_trip_submit_start_done(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.record_submit(entry(2))
+    journal.record_start("sub-000001", attempt=1)
+    journal.close()
+
+    replay = SubmissionJournal(tmp_path / "j.jsonl").replay()
+    assert not replay.torn_tail
+    states = {e.sub_id: e for e in replay.entries}
+    assert states["sub-000001"].state == "running"
+    assert states["sub-000001"].attempts == 1
+    assert states["sub-000002"].state == "queued"
+    assert [e.sub_id for e in replay.incomplete] == [
+        "sub-000001", "sub-000002"
+    ]
+    # The scenario text rides in the journal: recovery needs no client.
+    assert json.loads(states["sub-000001"].scenario_json) == {"name": "scn-1"}
+    assert states["sub-000001"].client == "client-1"
+
+
+def test_terminal_entries_are_not_incomplete(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.record_submit(entry(2))
+    journal.record_submit(entry(3))
+    journal.record_start("sub-000001", attempt=1)
+    journal.record_done("sub-000001")
+    journal.record_failed("sub-000002", "boom", attempts=3)
+    journal.close()
+
+    replay = SubmissionJournal(tmp_path / "j.jsonl").replay()
+    assert [e.sub_id for e in replay.incomplete] == ["sub-000003"]
+    failed = {e.sub_id: e for e in replay.entries}["sub-000002"]
+    assert failed.state == "failed" and failed.error == "boom"
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.close()
+    with open(tmp_path / "j.jsonl", "a") as fh:
+        fh.write('{"kind": "done", "sub_id": "sub-0000')  # crash mid-append
+
+    replay = SubmissionJournal(tmp_path / "j.jsonl").replay()
+    assert replay.torn_tail
+    assert [e.sub_id for e in replay.incomplete] == ["sub-000001"]
+
+
+def test_torn_middle_line_raises(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.close()
+    text = (tmp_path / "j.jsonl").read_text()
+    (tmp_path / "j.jsonl").write_text(
+        text + '{"kind": "torn\n' + '{"kind": "done", "sub_id": "sub-000001"}\n'
+    )
+    with pytest.raises(JournalError, match="corrupt"):
+        SubmissionJournal(tmp_path / "j.jsonl").replay()
+
+
+def test_unknown_schema_raises(tmp_path):
+    (tmp_path / "j.jsonl").write_text(
+        json.dumps({"kind": "journal", "schema": JOURNAL_SCHEMA + 9}) + "\n"
+    )
+    with pytest.raises(JournalError, match="schema"):
+        SubmissionJournal(tmp_path / "j.jsonl").replay()
+
+
+def test_transition_for_unknown_submission_raises(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.close()
+    with open(tmp_path / "j.jsonl", "a") as fh:
+        fh.write(json.dumps({"kind": "done", "sub_id": "sub-000099"}) + "\n")
+        fh.write(json.dumps({"kind": "done", "sub_id": "sub-000001"}) + "\n")
+    with pytest.raises(JournalError, match="unknown submission"):
+        SubmissionJournal(tmp_path / "j.jsonl").replay()
+
+
+def test_missing_journal_is_empty_replay(tmp_path):
+    replay = SubmissionJournal(tmp_path / "absent.jsonl").replay()
+    assert replay.entries == [] and not replay.torn_tail
+
+
+def test_compacts_once_all_terminal(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.record_submit(entry(2))
+    journal.record_start("sub-000001", attempt=1)
+    journal.record_done("sub-000001")
+    assert journal.compactions == 0  # sub-000002 still live
+    journal.record_failed("sub-000002", "boom", attempts=1)
+    assert journal.compactions == 1
+    records = lines_of(tmp_path / "j.jsonl")
+    assert records == [{"kind": "journal", "schema": JOURNAL_SCHEMA}]
+    # The journal keeps working after compaction.
+    journal.record_submit(entry(3))
+    journal.close()
+    replay = SubmissionJournal(tmp_path / "j.jsonl").replay()
+    assert [e.sub_id for e in replay.incomplete] == ["sub-000003"]
+
+
+def test_explicit_compact_keeps_live_entries(tmp_path):
+    journal = SubmissionJournal(tmp_path / "j.jsonl")
+    journal.record_submit(entry(1))
+    journal.record_submit(entry(2))
+    journal.record_start("sub-000002", attempt=2)
+    journal.record_done("sub-000001")
+    journal.compact()
+    records = lines_of(tmp_path / "j.jsonl")
+    kinds = [r["kind"] for r in records]
+    assert kinds == ["journal", "submit", "start"]
+    assert records[1]["sub_id"] == "sub-000002"
+    assert records[2]["attempt"] == 2
+    journal.close()
+
+
+def test_default_journal_under_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    journal = SubmissionJournal.default()
+    assert journal.path == tmp_path / "cache" / "service" / "journal.jsonl"

@@ -5,7 +5,7 @@ import threading
 
 import pytest
 
-from repro.service import connect, listen, parse_address
+from repro.service import ServiceTimeout, connect, listen, parse_address
 from repro.service.protocol import decode, encode, error_message
 from repro.service.transport import register_transport
 
@@ -92,6 +92,30 @@ def test_channel_round_trip(address):
         with connect(bound) as chan:
             chan.send({"op": "again"})
             assert chan.recv(timeout=5)["got"] == {"op": "again"}
+    finally:
+        server.stop()
+
+
+@pytest.mark.parametrize(
+    "address", ["inproc://timeout-test", "tcp://127.0.0.1:0"]
+)
+def test_recv_timeout_raises_service_timeout(address):
+    """Satellite contract: an expired ``recv(timeout=...)`` raises the
+    same clear ServiceTimeout on every transport — never a bare socket
+    error or queue.Empty."""
+    server = _EchoLoop()
+    bound = server.start(address)
+    try:
+        with connect(bound) as chan:
+            # Nothing sent — nothing will ever arrive.
+            with pytest.raises(ServiceTimeout, match="no reply"):
+                chan.recv(timeout=0.05)
+            assert issubclass(ServiceTimeout, TimeoutError)
+            # The channel still delivers once traffic actually flows
+            # (inproc) — tcp channels should be closed after a timeout.
+            if bound.startswith("inproc"):
+                chan.send({"op": "ping"})
+                assert chan.recv(timeout=5)["op"] == "echo"
     finally:
         server.stop()
 
